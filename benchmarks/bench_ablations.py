@@ -1,0 +1,58 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each regenerates one ablation table on a trimmed benchmark subset
+(continuous + one non-continuous) so the three studies fit a bench run.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import run_ablation
+
+from .conftest import publish
+
+
+def _trimmed(scale):
+    """The ablations use a four-benchmark subset of the suite."""
+    return replace(scale, benchmarks=("cos", "exp", "erf", "multiplier"))
+
+
+def test_ablation_predictive_model(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=("predictive_model", _trimmed(scale)),
+        kwargs={"base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "ablation_predictive", result.render(), result.as_dict())
+    geo = result.geomeans()
+    # §III-B: the predictive model should not lose to DALTA's model
+    assert geo["predictive"]["avg"] <= geo["accurate-lsb"]["avg"] * 1.15
+
+
+def test_ablation_beam_width(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=("beam_width", _trimmed(scale)),
+        kwargs={"base_seed": 0, "beam_widths": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "ablation_beam", result.render(), result.as_dict())
+    geo = result.geomeans()
+    # beam search should not lose to pure greedy (N_beam = 1)
+    assert geo["n_beam=3"]["avg"] <= geo["n_beam=1"]["avg"] * 1.15
+
+
+def test_ablation_partition_search(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=("partition_search", _trimmed(scale)),
+        kwargs={"base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "ablation_sa", result.render(), result.as_dict())
+    geo = result.geomeans()
+    # the SA walk should not lose to random sampling at equal budget
+    assert geo["sa"]["avg"] <= geo["random"]["avg"] * 1.15

@@ -1,0 +1,26 @@
+"""Extension bench: input-distribution sensitivity of the search.
+
+Regenerates the distribution × partition-budget MED grid and checks
+the weak shape that holds at every scale: more search budget never
+meaningfully hurts, for any input distribution.
+"""
+
+from repro.experiments import run_distribution_study
+
+from .conftest import publish
+
+
+def test_distribution_study(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_distribution_study,
+        args=(scale,),
+        kwargs={"benchmark": "cos", "base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "distribution_study", result.render(), result.as_dict())
+
+    for name, meds in result.rows.items():
+        assert all(m >= 0 for m in meds)
+        # the largest budget must not lose badly to the smallest
+        assert meds[-1] <= meds[0] * 1.10, name

@@ -1,0 +1,25 @@
+"""Bench target for Fig. 6: the cos accuracy-energy trade-off sweep."""
+
+from repro.experiments import run_fig6
+
+from .conftest import publish
+
+
+def test_fig6_regeneration(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_fig6,
+        args=("cos", scale),
+        kwargs={"base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "fig6", result.render(), result.as_dict())
+
+    # The walk spans the energy axis: all-BTO is the cheapest point.
+    energies = [pt.energy_fj for pt in result.points]
+    assert energies[0] == min(energies)
+    # The most accurate configuration beats the cheapest by a wide margin.
+    meds = [pt.med for pt in result.points]
+    assert min(meds) < meds[0]
+    # The pareto front is non-trivial (a real trade-off exists).
+    assert len(result.pareto_front()) >= 3

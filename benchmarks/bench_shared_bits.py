@@ -1,0 +1,35 @@
+"""Extension bench: shared-set size study (why the paper stops at s = 1).
+
+Regenerates the s = 0 / 1 / 2 comparison (MED vs LUT storage / area /
+energy) on two representative benchmarks and checks the expected
+trade-off shape: error falls with each extra shared bit while the
+hardware cost roughly doubles per step.
+"""
+
+from repro.experiments import run_shared_bits_study
+
+from .conftest import publish
+
+
+def test_shared_bits_study(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_shared_bits_study,
+        args=(scale,),
+        kwargs={"benchmarks": ("cos", "multiplier"), "base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    publish(output_dir, "shared_bits", result.render(), result.as_dict())
+
+    for points in result.rows.values():
+        assert all(pt.verified for pt in points)
+        by_s = {pt.n_shared: pt for pt in points}
+        # error trends down with the shared-set size; per-benchmark runs
+        # use independent random streams, so allow small slack
+        assert by_s[1].med <= by_s[0].med * 1.10
+        assert by_s[2].med <= by_s[1].med * 1.10
+        # hardware cost grows with every extra shared bit
+        assert by_s[0].area_um2 < by_s[1].area_um2 < by_s[2].area_um2
+        assert by_s[0].energy_fj < by_s[1].energy_fj < by_s[2].energy_fj
+    # the aggregate trend is strict
+    assert result.geomean_med(2) < result.geomean_med(0)

@@ -1,0 +1,34 @@
+"""Bench target for Table I: benchmark-suite generation.
+
+Regenerates the Table I listing and times the workload generators
+(the non-trivial ones tabulate a structural adder / kinematics over the
+whole input space).
+"""
+
+from repro.experiments import run_table1
+from repro.workloads import get
+
+from .conftest import publish
+
+
+def test_table1_regeneration(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_table1, args=(scale.n_inputs,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 10
+    publish(output_dir, "table1", result.render(), result.as_dict())
+
+
+def test_generate_brent_kung(benchmark, scale):
+    f = benchmark(get, "brent-kung", scale.n_inputs)
+    assert f.n_outputs == scale.n_inputs // 2 + 1
+
+
+def test_generate_inversek2j(benchmark, scale):
+    f = benchmark(get, "inversek2j", scale.n_inputs)
+    assert f.n_inputs == scale.n_inputs
+
+
+def test_generate_cos(benchmark, scale):
+    f = benchmark(get, "cos", scale.n_inputs)
+    assert f.table[0] == (1 << scale.n_inputs) - 1

@@ -1,0 +1,71 @@
+"""Bench target for Table II: DALTA vs BS-SA.
+
+Two parts:
+
+1. ``test_table2_regeneration`` reruns the full Table II protocol at
+   the selected scale (min/avg/stdev MED + runtime per benchmark, both
+   algorithms) and publishes the rendered table.  The benchmark timing
+   of this test is the whole-protocol wall clock.
+2. per-algorithm timing benches on a representative benchmark, which
+   correspond to the paper's "Time (s)" columns (BS-SA should come in
+   around half of DALTA's runtime because P = 500 vs 1000).
+"""
+
+import numpy as np
+
+from repro.core import run_bssa, run_dalta
+from repro.experiments import run_table2
+from repro.workloads import get
+
+from .conftest import publish
+
+
+def test_table2_regeneration(benchmark, scale, output_dir):
+    result = benchmark.pedantic(
+        run_table2, args=(scale,), kwargs={"base_seed": 0}, rounds=1, iterations=1
+    )
+    publish(output_dir, "table2", result.render(), result.as_dict())
+    improvement = result.improvement()
+    # The paper's directional claims: BS-SA improves the minimum MED and
+    # collapses the run-to-run standard deviation.  At the smoke scale
+    # (2 runs on 2 benchmarks) these are noise-limited, so they are only
+    # asserted at the documented reproduction scales.
+    if result.scale_name != "smoke":
+        assert improvement["min"] > 0, "BS-SA should reduce the geomean min MED"
+        assert improvement["stdev"] > 0, "BS-SA should reduce the geomean stdev"
+
+
+def test_time_dalta_cos(benchmark, scale):
+    target = get("cos", scale.n_inputs)
+    result = benchmark.pedantic(
+        run_dalta,
+        args=(target, scale.dalta_config),
+        kwargs={"rng": np.random.default_rng(0)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sequence.is_complete()
+
+
+def test_time_bssa_cos(benchmark, scale):
+    target = get("cos", scale.n_inputs)
+    result = benchmark.pedantic(
+        run_bssa,
+        args=(target, scale.bssa_config),
+        kwargs={"rng": np.random.default_rng(0)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sequence.is_complete()
+
+
+def test_time_bssa_multiplier(benchmark, scale):
+    target = get("multiplier", scale.n_inputs)
+    result = benchmark.pedantic(
+        run_bssa,
+        args=(target, scale.bssa_config),
+        kwargs={"rng": np.random.default_rng(0)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sequence.is_complete()

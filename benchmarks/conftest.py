@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Scale selection: set ``REPRO_SCALE`` to ``smoke`` (seconds, CI),
+``default`` (minutes, 12-bit — the documented reproduction scale), or
+``paper`` (the full 16-bit Section V setup; hours in pure Python).
+The default is ``default`` for the table/figure regeneration benches.
+
+Every regeneration bench writes its rendered table and raw JSON to
+``benchmarks/output/`` so results survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_SCALE", "default")
+    factories = {
+        "smoke": ExperimentScale.smoke,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} not recognised; use smoke/default/paper"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return selected_scale()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def publish(output_dir: Path, name: str, rendered: str, payload=None) -> None:
+    """Write a rendered table (and raw JSON) to the output directory."""
+    (output_dir / f"{name}.txt").write_text(rendered + "\n")
+    if payload is not None:
+        from repro.experiments import reporting
+
+        reporting.to_json(payload, str(output_dir / f"{name}.json"))
+    print("\n" + rendered)

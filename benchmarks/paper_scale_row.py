@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Run one benchmark's Table II row at the paper's exact scale.
+
+16-bit function, DALTA P=1000 / BS-SA P=500, R=5, Z=30 — the Section V
+configuration — for a configurable number of repetitions.  Useful for
+spot-checking the reproduction against the paper's absolute numbers
+without paying for the full 10-benchmark x 10-run grid.
+
+    python benchmarks/paper_scale_row.py cos --runs 2
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.experiments import ExperimentScale, run_table2
+from repro.experiments.reporting import to_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="cos")
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", help="write raw results here")
+    args = parser.parse_args(argv)
+
+    scale = replace(
+        ExperimentScale.paper(), benchmarks=(args.benchmark,), n_runs=args.runs
+    )
+    print(
+        f"running {args.benchmark} at paper scale "
+        f"(16-bit, P=1000/500, R=5, Z=30, {args.runs} runs) — "
+        "expect tens of minutes per run in pure Python..."
+    )
+    result = run_table2(scale, base_seed=args.seed)
+    print(result.render())
+    print(
+        "\npaper's cos row for reference (10 runs): "
+        "DALTA min 9.47 avg 10.50 stdev 0.88 t 424s | "
+        "BS-SA min 8.66 avg 8.80 stdev 0.14 t 202s (44 threads)"
+    )
+    if args.json:
+        to_json(result.as_dict(), args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compile a user-defined function under a non-uniform input distribution.
+
+Scenario: an image pipeline applies gamma correction to 10-bit pixels.
+Pixel values are not uniform — mid-tones dominate — so the compiler is
+given the real input distribution and concentrates its accuracy where
+the inputs actually live.
+
+    python examples/custom_function.py
+"""
+
+import numpy as np
+
+import repro
+from repro.boolean import BooleanFunction
+from repro.metrics import ErrorReport, distributions
+
+
+def main() -> None:
+    n_bits = 10
+
+    # 1. Define the target: gamma correction (x ** 2.2 on [0, 1]).
+    gamma = BooleanFunction.from_real_function(
+        lambda x: np.power(x, 2.2),
+        domain=(0.0, 1.0),
+        value_range=(0.0, 1.0),
+        n_inputs=n_bits,
+        n_outputs=n_bits,
+        name="gamma2.2",
+    )
+
+    # 2. Real pixel statistics: a mid-tone-heavy bell curve.
+    pixel_distribution = distributions.truncated_gaussian(
+        n_bits, mean=0.45, std=0.2
+    )
+
+    # Concentrated distributions flatten the partition-search landscape
+    # (most partitions score identically, a few are dramatically
+    # better), so give the simulated annealing a larger partition
+    # budget than the uniform-input default.
+    from dataclasses import replace
+
+    config = replace(
+        repro.AlgorithmConfig.reduced(seed=7), partition_limit=120
+    )
+
+    # 3. Compile twice: once assuming uniform inputs, once with the
+    #    true distribution, and compare the *deployed* error (always
+    #    evaluated under the true distribution).
+    results = {}
+    for label, p in (("uniform", None), ("pixel-aware", pixel_distribution)):
+        lut = repro.approximate(
+            gamma, architecture="bto-normal-nd", config=config, p=p
+        )
+        deployed = ErrorReport(
+            gamma, lut.approx_function, n_bits, pixel_distribution
+        )
+        results[label] = (lut, deployed)
+        print(
+            f"{label:>12}: optimised MED = {lut.med:8.3f}   "
+            f"deployed MED = {deployed.med:8.3f}   modes = {lut.mode_counts()}"
+        )
+
+    uniform_med = results["uniform"][1].med
+    aware_med = results["pixel-aware"][1].med
+    print(
+        f"\ndistribution-aware compilation changes the deployed error by "
+        f"{100 * (aware_med - uniform_med) / uniform_med:+.1f}% "
+        f"relative to distribution-oblivious compilation"
+    )
+
+    # 4. The compiled table is a plain numpy lookup — drop it into the
+    #    pipeline directly.
+    lut = results["pixel-aware"][0]
+    pixels = np.random.default_rng(0).integers(0, 1 << n_bits, size=8)
+    print("\nsample pixels  :", pixels.tolist())
+    print("gamma corrected:", lut.evaluate(pixels).tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Why do some benchmarks decompose almost exactly and others not?
+
+Table II shows the Brent-Kung adder reaching near-zero MEDs while the
+stitched multiplier's MED stays in the hundreds.  This example uses the
+decomposability-analysis tools to explain that gap *before running any
+optimisation*: it profiles each output bit's column multiplicity
+(Theorem 1's quantity) and the minimum number of truth-table cells that
+must be flipped until an exact decomposition exists.
+
+    python examples/decomposability_analysis.py
+"""
+
+import numpy as np
+
+from repro.boolean.analysis import decomposability_report, profile_output_bit
+from repro.workloads import get
+
+
+def main() -> None:
+    n_bits = 10
+    bound = 5
+    rng = np.random.default_rng(0)
+
+    for name in ("brent-kung", "cos", "multiplier"):
+        target = get(name, n_inputs=n_bits)
+        print(decomposability_report(target, bound_size=bound, rng=rng))
+        print()
+
+    # Zoom in: compare the flip distance of an easy and a hard bit.
+    adder = get("brent-kung", n_inputs=n_bits)
+    mult = get("multiplier", n_inputs=n_bits)
+    easy = profile_output_bit(adder, 0, bound, rng=rng)
+    hard = profile_output_bit(mult, mult.n_outputs // 2, bound, rng=rng)
+    table_cells = 1 << n_bits
+    print(
+        f"adder sum LSB: best partition flips "
+        f"{easy.best_flip_distance}/{table_cells} cells "
+        f"-> essentially free to store as φ∘F"
+    )
+    print(
+        f"multiplier middle bit: best partition flips "
+        f"{hard.best_flip_distance}/{table_cells} cells "
+        f"-> every decomposition must pay real error"
+    )
+    print(
+        "\nThis is exactly the Table II picture: benchmarks whose bits sit "
+        "near Theorem 1's condition reach tiny MEDs; arithmetic middle "
+        "bits (carry-dependent, high column multiplicity) set the error "
+        "floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

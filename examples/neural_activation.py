@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Application study: approximate sigmoid LUT inside a neural network.
+
+The paper's motivation is that error-tolerant applications barely
+notice a carefully-approximated LUT.  This example makes that concrete:
+
+1. train a tiny MLP (numpy, one hidden layer) on a 2-D two-blob
+   classification task using the exact sigmoid;
+2. replace the activation at inference time with (a) an exact
+   ``2**n``-entry LUT and (b) a decomposition-based approximate LUT
+   compiled with BS-SA;
+3. report classification accuracy and the storage each variant needs.
+
+    python examples/neural_activation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.boolean import BooleanFunction
+
+N_BITS = 10
+SIGMOID_RANGE = 6.0  # activation inputs clipped to [-6, 6]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def make_dataset(rng, n=2000):
+    """Two Gaussian blobs with overlap (so accuracy is not trivially 100%)."""
+    half = n // 2
+    a = rng.normal([-1.0, -1.0], 1.0, size=(half, 2))
+    b = rng.normal([1.0, 1.0], 1.0, size=(half, 2))
+    features = np.vstack([a, b])
+    labels = np.concatenate([np.zeros(half), np.ones(half)])
+    order = rng.permutation(n)
+    return features[order], labels[order]
+
+
+def train_mlp(features, labels, rng, hidden=8, epochs=300, lr=0.5):
+    """Plain batch gradient descent on a 2-hidden-layer logistic MLP."""
+    w1 = rng.normal(0, 1.0, size=(2, hidden))
+    b1 = np.zeros(hidden)
+    w2 = rng.normal(0, 1.0, size=(hidden, 1))
+    b2 = np.zeros(1)
+    y = labels[:, None]
+    for _ in range(epochs):
+        h = sigmoid(features @ w1 + b1)
+        out = sigmoid(h @ w2 + b2)
+        grad_out = out - y
+        grad_w2 = h.T @ grad_out / len(y)
+        grad_h = grad_out @ w2.T * h * (1 - h)
+        grad_w1 = features.T @ grad_h / len(y)
+        w2 -= lr * grad_w2
+        b2 -= lr * grad_out.mean(axis=0)
+        w1 -= lr * grad_w1
+        b1 -= lr * grad_h.mean(axis=0)
+    return w1, b1, w2, b2
+
+
+def lut_activation(lut_table: np.ndarray):
+    """Wrap a quantised LUT as a drop-in activation function."""
+    levels = (1 << N_BITS) - 1
+
+    def activate(x: np.ndarray) -> np.ndarray:
+        clipped = np.clip(x, -SIGMOID_RANGE, SIGMOID_RANGE)
+        index = np.rint(
+            (clipped + SIGMOID_RANGE) / (2 * SIGMOID_RANGE) * levels
+        ).astype(np.int64)
+        return lut_table[index].astype(np.float64) / levels
+
+    return activate
+
+
+def accuracy(features, labels, weights, activation):
+    w1, b1, w2, b2 = weights
+    h = activation(features @ w1 + b1)
+    out = activation(h @ w2 + b2)
+    return float(((out[:, 0] > 0.5) == labels).mean())
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    features, labels = make_dataset(rng)
+    split = len(labels) * 3 // 4
+    weights = train_mlp(features[:split], labels[:split], rng)
+    test_x, test_y = features[split:], labels[split:]
+
+    # Quantise sigmoid into a Boolean function (Table-I-style build).
+    sigmoid_fn = BooleanFunction.from_real_function(
+        sigmoid,
+        domain=(-SIGMOID_RANGE, SIGMOID_RANGE),
+        value_range=(0.0, 1.0),
+        n_inputs=N_BITS,
+        n_outputs=N_BITS,
+        name="sigmoid",
+    )
+    config = repro.AlgorithmConfig.reduced(seed=5)
+    lut = repro.approximate(sigmoid_fn, architecture="bto-normal-nd", config=config)
+
+    exact_bits = sigmoid_fn.size * sigmoid_fn.n_outputs
+    print(f"approximate sigmoid LUT: MED = {lut.med:.2f} / {(1 << N_BITS) - 1}, "
+          f"modes = {lut.mode_counts()}")
+    print(f"storage: exact LUT {exact_bits} bits -> "
+          f"approximate {lut.lut_entries()} bits "
+          f"({exact_bits / lut.lut_entries():.1f}x smaller)\n")
+
+    variants = {
+        "float sigmoid": sigmoid,
+        "exact LUT": lut_activation(sigmoid_fn.table),
+        "approximate LUT": lut_activation(lut.approx_function.table),
+    }
+    reference = None
+    for name, activation in variants.items():
+        acc = accuracy(test_x, test_y, weights, activation)
+        if reference is None:
+            reference = acc
+        print(f"{name:>16}: test accuracy {100 * acc:.2f}% "
+              f"({100 * (acc - reference):+.2f} pts vs float)")
+
+    energy_note = lut.hardware()
+    print(f"\nhardware: {energy_note.area_um2():.0f} um^2, "
+          f"{energy_note.critical_path_ps():.0f} ps critical path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Rerun any of the paper's experiments from the command line.
+
+    python examples/paper_experiments.py table1
+    python examples/paper_experiments.py table2 --scale smoke
+    python examples/paper_experiments.py fig5  --scale default
+    python examples/paper_experiments.py fig6  --benchmark cos
+    python examples/paper_experiments.py ablation --name beam_width
+    python examples/paper_experiments.py all --scale smoke
+
+``--scale paper`` runs the exact Section V configuration (16-bit
+functions, P = 500/1000, 10 runs) — expect hours in pure Python.
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentScale,
+    run_ablation,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+)
+
+SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "fig5", "fig6", "ablation", "all"],
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--benchmark", default="cos", help="fig6 target")
+    parser.add_argument(
+        "--name",
+        default="predictive_model",
+        choices=["predictive_model", "beam_width", "partition_search"],
+        help="which ablation to run",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]()
+    runners = {
+        "table1": lambda: run_table1(scale.n_inputs),
+        "table2": lambda: run_table2(scale, base_seed=args.seed),
+        "fig5": lambda: run_fig5(scale, base_seed=args.seed),
+        "fig6": lambda: run_fig6(args.benchmark, scale, base_seed=args.seed),
+        "ablation": lambda: run_ablation(args.name, scale, base_seed=args.seed),
+    }
+    chosen = (
+        list(runners) if args.experiment == "all" else [args.experiment]
+    )
+    for name in chosen:
+        print(f"\n=== {name} (scale={args.scale}) ===\n")
+        result = runners[name]()
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: compile an approximate LUT for cos(x) and inspect it.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+import repro
+from repro import workloads
+from repro.hardware import measure_energy, verify_design
+
+
+def main() -> None:
+    # 1. Pick a target function. Table I's cos benchmark at 10-bit
+    #    precision (use 16 for the paper's exact setup).
+    cos = workloads.get("cos", n_inputs=10)
+    print(f"target: {cos}")
+
+    # 2. Compile it with BS-SA onto the BTO-Normal-ND architecture.
+    config = repro.AlgorithmConfig.reduced(seed=1)
+    lut = repro.approximate(cos, architecture="bto-normal-nd", config=config)
+    print(f"\ncompiled: {lut}")
+    print(f"mean error distance (MED): {lut.med:.3f} "
+          f"of a {(1 << cos.n_outputs) - 1} output range")
+    print(f"per-bit modes: {lut.mode_counts()}")
+    print(f"LUT storage: {lut.lut_entries()} bits "
+          f"(exact table would need {cos.size * cos.n_outputs})")
+
+    # 3. Query it like a function.
+    for x in (0, cos.size // 2, cos.size - 1):
+        print(f"  lut({x:4d}) = {lut.evaluate(x):4d}   exact = {cos(x):4d}")
+
+    # 4. Inspect the hardware model (the paper's DC/PrimeTime numbers).
+    hardware = lut.hardware()
+    print("\n" + hardware.report())
+    verification = verify_design(hardware, exhaustive=True)
+    print(f"functional verification: {verification}")
+    energy = measure_energy(hardware)  # the paper's 1024-read protocol
+    print(f"energy: {energy.per_read_fj:.1f} fJ/read "
+          f"({energy.dynamic_fj / 1e3:.1f} pJ dynamic over {energy.n_reads} reads)")
+
+    # 5. Full error metrics.
+    print(f"\nerror report: {lut.error_report()}")
+
+
+if __name__ == "__main__":
+    main()

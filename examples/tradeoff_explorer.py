@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Explore the accuracy-energy trade-off of a benchmark (Fig. 6 style).
+
+Sweeps per-output-bit mode configurations of the BTO-Normal-ND
+architecture and prints the trade-off curve plus the configurations
+that dominate the DALTA baseline in both error and energy.
+
+    python examples/tradeoff_explorer.py [benchmark] [n_inputs]
+"""
+
+import sys
+
+from repro.experiments import ExperimentScale, run_fig6
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "cos"
+    n_inputs = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+    from dataclasses import replace
+
+    scale = replace(ExperimentScale.default(), n_inputs=n_inputs, n_runs=2)
+    print(
+        f"sweeping mode configurations of {benchmark!r} at {n_inputs} bits "
+        f"(this reruns the optimiser; give it a minute)...\n"
+    )
+    result = run_fig6(benchmark, scale, base_seed=0)
+    print(result.render())
+
+    front = result.pareto_front()
+    print(f"\npareto-optimal configurations ({len(front)}):")
+    for pt in front:
+        marker = (
+            "  << dominates DALTA"
+            if pt.dominates(result.dalta_med, result.dalta_energy_fj)
+            else ""
+        )
+        print(
+            f"  (#BTO,#Normal,#ND)={pt.modes}  MED={pt.med:8.3f}  "
+            f"{pt.energy_fj:9.1f} fJ/read{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

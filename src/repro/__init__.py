@@ -1,0 +1,71 @@
+"""repro — decomposition-based approximate lookup tables.
+
+A complete reproduction of *"High-accuracy Low-power Reconfigurable
+Architectures for Decomposition-based Approximate Lookup Table"*
+(DATE 2023): the BS-SA approximate-decomposition algorithm, the DALTA
+baseline, non-disjoint decomposition, the BTO-Normal and BTO-Normal-ND
+reconfigurable architectures with a gate-level area/latency/energy
+model, the rounding baselines, and the full benchmark suite.
+
+Quickstart::
+
+    import repro
+    from repro import workloads
+
+    cos = workloads.get("cos", n_inputs=10)
+    lut = repro.approximate(cos, architecture="bto-normal-nd",
+                            config=repro.AlgorithmConfig.reduced(seed=1))
+    print(lut.med, lut.mode_counts())
+    print(lut.hardware().report())
+"""
+
+from .boolean import (
+    BooleanFunction,
+    BoundOnlyDecomposition,
+    DisjointDecomposition,
+    NonDisjointDecomposition,
+    Partition,
+    RowType,
+    find_exact_decomposition,
+)
+from .core import (
+    ALGORITHMS,
+    ARCHITECTURES,
+    AlgorithmConfig,
+    ApproximationResult,
+    ApproxLUT,
+    Setting,
+    SettingSequence,
+    approximate,
+    run_bssa,
+    run_dalta,
+)
+from .metrics import ErrorReport, med
+from . import metrics, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanFunction",
+    "BoundOnlyDecomposition",
+    "DisjointDecomposition",
+    "NonDisjointDecomposition",
+    "Partition",
+    "RowType",
+    "find_exact_decomposition",
+    "ALGORITHMS",
+    "ARCHITECTURES",
+    "AlgorithmConfig",
+    "ApproximationResult",
+    "ApproxLUT",
+    "Setting",
+    "SettingSequence",
+    "approximate",
+    "run_bssa",
+    "run_dalta",
+    "ErrorReport",
+    "med",
+    "metrics",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the benchmark suite (Table I).
+``compile``
+    Compile a benchmark into an approximate LUT, print its report and
+    optionally save the configuration / RTL.
+``experiment``
+    Rerun one of the paper's experiments (table1/table2/fig5/fig6 or an
+    ablation) at a chosen scale.
+``info``
+    Describe a saved configuration file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import AlgorithmConfig, approximate, workloads
+from .core import serialize
+from .experiments import (
+    ExperimentScale,
+    run_ablation,
+    run_fig5,
+    run_fig6,
+    run_shared_bits_study,
+    run_table1,
+    run_table2,
+)
+
+_SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
+
+_CONFIGS = {
+    "fast": AlgorithmConfig.fast,
+    "reduced": AlgorithmConfig.reduced,
+    "paper": AlgorithmConfig.paper_bssa,
+}
+
+
+def _cmd_list(_args) -> int:
+    print(run_table1(16, build=False).render())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    target = workloads.get(args.benchmark, n_inputs=args.bits)
+    config = _CONFIGS[args.budget]()
+    if args.seed is not None:
+        config = config.with_seed(args.seed)
+    print(
+        f"compiling {args.benchmark} ({args.bits}-bit) onto "
+        f"{args.architecture} with {args.algorithm} ..."
+    )
+    lut = approximate(
+        target,
+        architecture=args.architecture,
+        algorithm=args.algorithm,
+        config=config,
+    )
+    print(f"MED: {lut.med:.4f}   modes: {lut.mode_counts()}")
+    print(lut.hardware().report())
+    if args.save:
+        serialize.save(lut, args.save)
+        print(f"configuration saved to {args.save}")
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(lut.to_verilog())
+        print(f"RTL written to {args.verilog}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = _SCALES[args.scale]()
+    runners = {
+        "table1": lambda: run_table1(scale.n_inputs),
+        "table2": lambda: run_table2(scale, base_seed=args.seed or 0),
+        "fig5": lambda: run_fig5(scale, base_seed=args.seed or 0),
+        "fig6": lambda: run_fig6("cos", scale, base_seed=args.seed or 0),
+        "ablation-predictive": lambda: run_ablation("predictive_model", scale),
+        "ablation-beam": lambda: run_ablation("beam_width", scale),
+        "ablation-sa": lambda: run_ablation("partition_search", scale),
+        "shared-bits": lambda: run_shared_bits_study(scale),
+    }
+    result = runners[args.name]()
+    print(result.render())
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import json
+
+    with open(args.path) as handle:
+        payload = json.load(handle)
+    target = payload.get("target", {})
+    print(f"file:        {args.path}")
+    print(f"format:      {payload.get('format')} v{payload.get('version')}")
+    print(
+        f"target:      {target.get('name')} "
+        f"({target.get('n_inputs')}-in / {target.get('n_outputs')}-out)"
+    )
+    print(f"architecture: {payload.get('architecture')}")
+    print(f"recorded MED: {payload.get('med')}")
+    modes: dict = {}
+    for setting in payload.get("settings", []):
+        modes[setting["mode"]] = modes.get(setting["mode"], 0) + 1
+    print(f"modes:       {modes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the benchmark suite").set_defaults(
+        func=_cmd_list
+    )
+
+    compile_parser = sub.add_parser("compile", help="compile a benchmark")
+    compile_parser.add_argument("benchmark", choices=workloads.names())
+    compile_parser.add_argument("--bits", type=int, default=10)
+    compile_parser.add_argument(
+        "--architecture",
+        default="bto-normal-nd",
+        choices=["dalta", "bto-normal", "bto-normal-nd"],
+    )
+    compile_parser.add_argument(
+        "--algorithm", default="bs-sa", choices=["bs-sa", "dalta"]
+    )
+    compile_parser.add_argument(
+        "--budget", default="reduced", choices=sorted(_CONFIGS)
+    )
+    compile_parser.add_argument("--seed", type=int, default=0)
+    compile_parser.add_argument("--save", help="write configuration JSON here")
+    compile_parser.add_argument("--verilog", help="write RTL here")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="rerun a paper experiment"
+    )
+    experiment_parser.add_argument(
+        "name",
+        choices=[
+            "table1",
+            "table2",
+            "fig5",
+            "fig6",
+            "ablation-predictive",
+            "ablation-beam",
+            "ablation-sa",
+            "shared-bits",
+        ],
+    )
+    experiment_parser.add_argument(
+        "--scale", default="default", choices=sorted(_SCALES)
+    )
+    experiment_parser.add_argument("--seed", type=int)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    info_parser = sub.add_parser("info", help="describe a saved configuration")
+    info_parser.add_argument("path")
+    info_parser.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Turning decompositions into human-readable logic and LUT images.
+
+The paper's examples present ``φ`` and ``F`` as sum-of-products
+expressions (e.g. Example 1: ``φ(x3, x4) = x̄3·x4 + x3·x̄4``).  This
+module reproduces that view and also renders raw LUT images in the
+formats consumed by the Verilog emitter (`$readmemh`/`$readmemb`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .decomposition import (
+    DisjointDecomposition,
+    MultiSharedDecomposition,
+    NonDisjointDecomposition,
+    RowType,
+)
+
+__all__ = [
+    "sop_expression",
+    "phi_expression",
+    "free_expression",
+    "lut_image_bits",
+    "lut_image_hex",
+    "describe_decomposition",
+]
+
+_NOT_MARK = "~"
+
+
+def _literal(variable_name: str, value: int) -> str:
+    """One literal of a minterm: ``x3`` or ``~x3``."""
+    return variable_name if value else _NOT_MARK + variable_name
+
+
+def sop_expression(
+    bits: np.ndarray, variable_names: Sequence[str], true_name: str = "1"
+) -> str:
+    """Canonical sum-of-minterms for a small single-output function.
+
+    ``bits[i]`` is the output for the input word ``i`` whose bit ``j``
+    drives ``variable_names[j]``.  Constant functions render as ``0`` or
+    ``1``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    n = len(variable_names)
+    if bits.shape != (1 << n,):
+        raise ValueError(
+            f"bits has shape {bits.shape}, expected ({1 << n},) "
+            f"for {n} variables"
+        )
+    ones = np.flatnonzero(bits)
+    if len(ones) == 0:
+        return "0"
+    if len(ones) == len(bits):
+        return true_name
+    terms: List[str] = []
+    for word in ones:
+        literals = [
+            _literal(variable_names[j], (int(word) >> j) & 1) for j in range(n)
+        ]
+        terms.append("·".join(literals))
+    return " + ".join(terms)
+
+
+def phi_expression(decomposition: DisjointDecomposition) -> str:
+    """SOP of the bound-table function ``φ(B)`` in paper variable names."""
+    names = [f"x{v + 1}" for v in decomposition.partition.bound]
+    return sop_expression(decomposition.bound_table(), names)
+
+
+def free_expression(decomposition: DisjointDecomposition) -> str:
+    """SOP of ``F(φ, A)``: φ is treated as an extra (first) variable."""
+    names = ["φ"] + [f"x{v + 1}" for v in decomposition.partition.free]
+    # free_table is F[row, φ]; flatten with φ as bit 0 of the index
+    table = decomposition.free_table()
+    rows = decomposition.partition.n_rows
+    bits = np.empty(2 * rows, dtype=np.uint8)
+    idx = np.arange(2 * rows)
+    bits[idx] = table[idx >> 1, idx & 1]
+    return sop_expression(bits, names)
+
+
+def lut_image_bits(contents: np.ndarray) -> str:
+    """Render LUT contents as one binary digit per line (``$readmemb``)."""
+    return "\n".join(str(int(v)) for v in np.asarray(contents).reshape(-1))
+
+
+def lut_image_hex(words: np.ndarray, width: int) -> str:
+    """Render multi-bit LUT words as hex lines (``$readmemh``)."""
+    digits = (width + 3) // 4
+    return "\n".join(format(int(w), f"0{digits}x") for w in np.asarray(words))
+
+
+def describe_decomposition(decomposition) -> str:
+    """Multi-line human-readable description of any decomposition."""
+    lines: List[str] = []
+    if isinstance(decomposition, MultiSharedDecomposition):
+        part = decomposition.partition
+        shared = ", ".join(f"x{v + 1}" for v in decomposition.shared)
+        lines.append(
+            f"multi-shared decomposition ({decomposition.n_shared} shared "
+            f"bits: {shared})"
+        )
+        lines.append(f"  partition: {part}")
+        for j, half in enumerate(decomposition.halves()):
+            lines.append(f"  φ{j} = {phi_expression(half)}")
+        lines.append(f"  LUT entries: {decomposition.lut_entries()}")
+    elif isinstance(decomposition, NonDisjointDecomposition):
+        part = decomposition.partition
+        lines.append(
+            f"non-disjoint decomposition, shared bit x{decomposition.shared + 1}"
+        )
+        lines.append(f"  partition: {part}")
+        half0, half1 = decomposition.halves()
+        lines.append(f"  φ0 = {phi_expression(half0)}")
+        lines.append(f"  φ1 = {phi_expression(half1)}")
+        lines.append(f"  F0 = {free_expression(half0)}")
+        lines.append(f"  F1 = {free_expression(half1)}")
+        lines.append(f"  LUT entries: {decomposition.lut_entries()}")
+    elif isinstance(decomposition, DisjointDecomposition):
+        kind = "bound-table-only" if not decomposition.uses_free_table else "disjoint"
+        lines.append(f"{kind} decomposition")
+        lines.append(f"  partition: {decomposition.partition}")
+        lines.append(f"  V = {''.join(map(str, decomposition.pattern))}")
+        lines.append(
+            "  T = (" + ", ".join(str(int(t)) for t in decomposition.types) + ")"
+        )
+        lines.append(f"  φ = {phi_expression(decomposition)}")
+        if decomposition.uses_free_table:
+            lines.append(f"  F = {free_expression(decomposition)}")
+        lines.append(f"  LUT entries: {decomposition.lut_entries()}")
+    else:
+        raise TypeError(f"unsupported decomposition type {type(decomposition)!r}")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""High-level compiler API: function in, configured approximate LUT out.
+
+This is the entry point downstream users call:
+
+>>> from repro import approximate, workloads            # doctest: +SKIP
+>>> lut = approximate(workloads.get("cos", n_inputs=10))  # doctest: +SKIP
+>>> lut.med                                              # doctest: +SKIP
+
+The returned :class:`ApproxLUT` bundles the optimised decomposition
+settings with lazy access to the hardware model (area / latency /
+energy) and the Verilog emitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..boolean.function import BooleanFunction
+from ..metrics import distributions
+from ..metrics.error import ErrorReport
+from .bs_sa import run_bssa
+from .config import AlgorithmConfig
+from .dalta import run_dalta
+from .result import ApproximationResult
+from .settings import SettingSequence
+
+__all__ = ["ApproxLUT", "approximate", "ARCHITECTURES", "ALGORITHMS"]
+
+ARCHITECTURES = ("dalta", "bto-normal", "bto-normal-nd")
+ALGORITHMS = ("dalta", "bs-sa")
+
+
+class ApproxLUT:
+    """A compiled approximate lookup table.
+
+    Wraps the search result with the derived artefacts users need:
+    the approximate truth table, error metrics, the gate-level hardware
+    model and RTL output.
+    """
+
+    def __init__(
+        self,
+        target: BooleanFunction,
+        result: ApproximationResult,
+        architecture: str,
+        p: np.ndarray,
+    ) -> None:
+        self.target = target
+        self.result = result
+        self.architecture = architecture
+        self.p = p
+        self._approx: Optional[BooleanFunction] = None
+        self._hardware = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sequence(self) -> SettingSequence:
+        return self.result.sequence
+
+    @property
+    def med(self) -> float:
+        return self.result.med
+
+    @property
+    def approx_function(self) -> BooleanFunction:
+        if self._approx is None:
+            self._approx = self.sequence.approx_function(self.target)
+        return self._approx
+
+    def evaluate(self, x):
+        """Query the approximate LUT (scalar or array of input words)."""
+        result = self.approx_function.evaluate(x)
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return int(result)
+        return result
+
+    def __call__(self, x):
+        return self.evaluate(x)
+
+    def error_report(self) -> ErrorReport:
+        return ErrorReport(
+            self.target, self.approx_function, self.target.n_outputs, self.p
+        )
+
+    def mode_counts(self) -> dict:
+        return self.sequence.mode_counts()
+
+    def lut_entries(self) -> int:
+        """Total stored LUT bits (vs ``2**n · m`` for the exact table)."""
+        return self.sequence.total_lut_entries()
+
+    # ------------------------------------------------------------------
+    def hardware(self):
+        """Gate-level model of the compiled design (lazy)."""
+        if self._hardware is None:
+            from ..hardware.architectures import build_architecture
+
+            self._hardware = build_architecture(
+                self.architecture, self.target, self.sequence
+            )
+        return self._hardware
+
+    def to_verilog(self, module_name: Optional[str] = None) -> str:
+        """Synthesizable Verilog of the compiled design."""
+        from ..hardware.verilog import emit_design
+
+        return emit_design(self.hardware(), module_name=module_name)
+
+    def describe(self, max_terms_bits: int = 6) -> str:
+        """Human-readable per-bit breakdown of the compiled design.
+
+        For narrow bound/free sets the φ and F functions are printed as
+        sum-of-products expressions (like the paper's examples); wider
+        tables are summarised by their sizes.
+        """
+        from ..boolean.synthesis import describe_decomposition
+
+        lines = [
+            f"{self.target.name}: {self.target.n_inputs}-input "
+            f"{self.target.n_outputs}-output on {self.architecture}",
+            f"MED = {self.med:.4g}, LUT bits = {self.lut_entries()}",
+        ]
+        for k, setting in enumerate(self.sequence.settings):
+            assert setting is not None
+            dec = setting.decomposition
+            lines.append(f"\noutput bit y{k + 1} (error {setting.error:.4g}):")
+            if dec.partition.n_bound <= max_terms_bits:
+                lines.append(describe_decomposition(dec))
+            else:
+                lines.append(
+                    f"  {setting.mode} decomposition, {dec.partition}, "
+                    f"{dec.lut_entries()} LUT bits"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproxLUT(target={self.target.name!r}, "
+            f"architecture={self.architecture!r}, med={self.med:.4g}, "
+            f"modes={self.mode_counts()})"
+        )
+
+
+def approximate(
+    target: BooleanFunction,
+    architecture: str = "bto-normal-nd",
+    algorithm: str = "bs-sa",
+    config: Optional[AlgorithmConfig] = None,
+    p: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ApproxLUT:
+    """Compile ``target`` into an approximate LUT.
+
+    Parameters
+    ----------
+    target:
+        The accurate function ``G`` to approximate.
+    architecture:
+        ``"dalta"`` (normal mode only), ``"bto-normal"``, or
+        ``"bto-normal-nd"``.
+    algorithm:
+        ``"bs-sa"`` (this paper) or ``"dalta"`` (the baseline
+        heuristic; always produces normal-mode settings).
+    config:
+        Hyperparameters; a sensible paper-default is chosen per
+        algorithm when omitted.
+    p:
+        Input distribution (uniform when omitted).
+    rng:
+        Random generator overriding ``config.seed``.
+    """
+    if architecture not in ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}"
+        )
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if p is None:
+        p_resolved = distributions.uniform(target.n_inputs)
+    else:
+        p_resolved = distributions.validate(p, target.n_inputs)
+
+    if algorithm == "dalta":
+        result = run_dalta(target, config=config, p=p_resolved, rng=rng)
+    else:
+        search_arch = "normal" if architecture == "dalta" else architecture
+        result = run_bssa(
+            target, config=config, p=p_resolved, rng=rng, architecture=search_arch
+        )
+    return ApproxLUT(target, result, architecture, p_resolved)

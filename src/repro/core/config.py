@@ -1,0 +1,183 @@
+"""Hyperparameter configuration for the decomposition algorithms.
+
+Field names follow the paper's notation (Section V-A lists the values
+used in the experiments).  :meth:`AlgorithmConfig.paper_bssa` /
+:meth:`AlgorithmConfig.paper_dalta` reproduce those exact settings;
+:meth:`AlgorithmConfig.reduced` is the laptop-scale default used by the
+bundled benchmarks and :meth:`AlgorithmConfig.fast` the unit-test
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["AlgorithmConfig"]
+
+
+@dataclass(frozen=True)
+class AlgorithmConfig:
+    """All knobs of DALTA, BS-SA, and the mode-selection rules.
+
+    Attributes
+    ----------
+    bound_size:
+        ``b`` — number of bound-set variables (bound-table address
+        width).  The paper uses 9 for 16-bit functions.
+    rounds:
+        ``R`` — optimisation rounds over the output bits.
+    partition_limit:
+        ``P`` — maximum number of variable partitions examined per
+        output-bit optimisation (1000 for DALTA, 500 for BS-SA in the
+        paper).
+    n_initial_patterns:
+        ``Z`` — random initial pattern vectors per ``OptForPart`` call.
+    n_beam:
+        ``N_beam`` — beam width of Algorithm 1 (BS-SA only).
+    n_neighbours:
+        ``N_nb`` — neighbours generated per SA iteration (BS-SA only).
+    initial_temperature:
+        ``τ0`` of the simulated annealing schedule.
+    cooling_factor:
+        ``α ∈ (0, 1)`` — per-iteration temperature decay.
+    stall_iterations:
+        SA stops when the visited set is unchanged this many successive
+        iterations (3 in Algorithm 2).
+    delta / delta_prime:
+        ``δ`` and ``δ'`` of the BTO/ND mode-selection rules (§IV),
+        with ``0 < δ < δ' < 1``.
+    nd_candidates:
+        How many of the best partitions found by the SA are evaluated
+        for the non-disjoint mode (the shared bit is enumerated over
+        the whole bound set for each; see DESIGN.md §4).
+    n_chains:
+        Number of concurrent SA walks per ``FindBestSettings`` call,
+        sharing one visited set ``Φ`` and one beam.  The paper's
+        implementation runs 10 such chains (to feed its 44 threads);
+        serial semantics are identical at ``n_chains = 1``.
+    objective:
+        What the search minimises: ``"med"`` (the paper's mean error
+        distance) or ``"mse"`` (mean squared error — an extension; the
+        cost model squares the per-input distances, which is exact for
+        all three context models).  Reported ``med`` values in results
+        are always true MEDs regardless of the search objective.
+    monotone_rounds:
+        When True (default) a later-round re-optimisation only replaces
+        a bit's setting if it does not increase that bit's recorded
+        error — a stabilising guard on top of the paper's unconditional
+        replacement (set False for the strict Algorithm 1 behaviour).
+    seed:
+        Base seed for all random draws; ``None`` uses fresh entropy.
+    """
+
+    bound_size: int = 9
+    rounds: int = 5
+    partition_limit: int = 500
+    n_initial_patterns: int = 30
+    n_beam: int = 3
+    n_neighbours: int = 5
+    initial_temperature: float = 0.2
+    cooling_factor: float = 0.9
+    stall_iterations: int = 3
+    delta: float = 0.01
+    delta_prime: float = 0.1
+    nd_candidates: int = 2
+    n_chains: int = 1
+    objective: str = "med"
+    monotone_rounds: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bound_size < 1:
+            raise ValueError("bound_size must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.partition_limit < 1:
+            raise ValueError("partition_limit must be >= 1")
+        if self.n_initial_patterns < 1:
+            raise ValueError("n_initial_patterns must be >= 1")
+        if self.n_beam < 1:
+            raise ValueError("n_beam must be >= 1")
+        if self.n_neighbours < 1:
+            raise ValueError("n_neighbours must be >= 1")
+        if not 0 < self.cooling_factor < 1:
+            raise ValueError("cooling_factor must be in (0, 1)")
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0 < self.delta < self.delta_prime < 1:
+            raise ValueError("mode selection requires 0 < delta < delta_prime < 1")
+        if self.objective not in ("med", "mse"):
+            raise ValueError(
+                f"unknown objective {self.objective!r}; choose 'med' or 'mse'"
+            )
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
+
+    # ------------------------------------------------------------------
+    def for_inputs(self, n_inputs: int) -> "AlgorithmConfig":
+        """Clamp the bound size to a valid value for ``n_inputs``.
+
+        The paper's ``b = 9`` only makes sense for 16-bit functions;
+        for smaller functions the same free/bound proportion is kept.
+        """
+        if self.bound_size < n_inputs:
+            return self
+        scaled = max(1, min(n_inputs - 1, round(n_inputs * 9 / 16)))
+        return replace(self, bound_size=scaled)
+
+    def with_seed(self, seed: Optional[int]) -> "AlgorithmConfig":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_bssa(cls) -> "AlgorithmConfig":
+        """The exact BS-SA settings of Section V-A."""
+        return cls(
+            bound_size=9,
+            rounds=5,
+            partition_limit=500,
+            n_initial_patterns=30,
+            n_beam=3,
+            n_neighbours=5,
+            initial_temperature=0.2,
+            cooling_factor=0.9,
+        )
+
+    @classmethod
+    def paper_dalta(cls) -> "AlgorithmConfig":
+        """The exact DALTA settings of Section V-A (P = 1000)."""
+        return cls(
+            bound_size=9,
+            rounds=5,
+            partition_limit=1000,
+            n_initial_patterns=30,
+            n_beam=1,
+        )
+
+    @classmethod
+    def reduced(cls, seed: Optional[int] = 0) -> "AlgorithmConfig":
+        """Laptop-scale defaults used by the bundled benchmark harness."""
+        return cls(
+            bound_size=7,
+            rounds=2,
+            partition_limit=40,
+            n_initial_patterns=8,
+            n_beam=2,
+            n_neighbours=4,
+            seed=seed,
+        )
+
+    @classmethod
+    def fast(cls, seed: Optional[int] = 0) -> "AlgorithmConfig":
+        """Unit-test scale: tiny budgets, deterministic seed."""
+        return cls(
+            bound_size=4,
+            rounds=2,
+            partition_limit=8,
+            n_initial_patterns=4,
+            n_beam=2,
+            n_neighbours=3,
+            nd_candidates=1,
+            seed=seed,
+        )

@@ -1,0 +1,173 @@
+"""Per-output-bit cost model.
+
+When the algorithms optimise one approximate component function
+:math:`\\hat g_k`, the contribution of every input ``X`` to the total
+MED depends only on the chosen value of the bit
+:math:`\\hat y_k \\in \\{0, 1\\}` and on the *context* — what is assumed
+about the other output bits.  This module computes, for each input
+word, the pair of costs ``(c0[X], c1[X])`` of choosing the bit 0 or 1.
+``OptForPart`` then minimises ``Σ_X p_X · c_{ŷ_k(X)}(X)`` over the
+decomposition parameters.
+
+Three contexts arise in the paper:
+
+``fixed``
+    Every other output bit has a concrete value (rounds ≥ 2, and
+    DALTA's round 1 where unoptimised bits are *accurate*).  Then
+    ``c_j = |rest + j·2**k − Y|``.
+
+``predictive`` (Section III-B)
+    The MSBs above ``k`` are known, the LSBs below ``k`` are free to
+    take whatever values minimise the error.  With
+    ``Ŷ_M = msb + j·2**k``, the reachable outputs form the interval
+    ``[Ŷ_M, Ŷ_M + 2**k − 1]`` and the minimal distance to the target
+    ``Y`` is the distance from ``Y`` to that interval — exactly the
+    paper's three-case rule.
+
+``accurate_lsb`` (DALTA's round-1 model)
+    The LSBs are fixed to their accurate values, so they cancel and
+    ``c_j = |Ŷ_M − Y_M|`` with ``Y_M = Y`` with the low ``k`` bits
+    cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..boolean.function import BooleanFunction
+
+__all__ = [
+    "BitCosts",
+    "cost_vectors_fixed",
+    "cost_vectors_predictive",
+    "cost_vectors_accurate_lsb",
+    "apply_objective",
+    "rest_word",
+    "msb_word",
+]
+
+#: optimisation objectives supported by :func:`apply_objective`
+OBJECTIVES = ("med", "mse")
+
+
+@dataclass(frozen=True)
+class BitCosts:
+    """Costs of assigning output bit ``k`` to 0 or 1, per input word.
+
+    ``cost0[X]`` / ``cost1[X]`` are *unweighted* error distances; the
+    optimiser multiplies them by the input distribution.
+    """
+
+    k: int
+    cost0: np.ndarray
+    cost1: np.ndarray
+
+    def weighted(self, p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Probability-weighted cost vectors."""
+        return self.cost0 * p, self.cost1 * p
+
+    def evaluate(self, bits: np.ndarray, p: np.ndarray) -> float:
+        """Total weighted cost of a concrete bit assignment."""
+        bits = np.asarray(bits)
+        chosen = np.where(bits.astype(bool), self.cost1, self.cost0)
+        return float(chosen @ p)
+
+    def lower_bound(self, p: np.ndarray) -> float:
+        """Cost of the (unconstrained) per-input optimal bit choice."""
+        return float(np.minimum(self.cost0, self.cost1) @ p)
+
+
+def apply_objective(costs: BitCosts, objective: str) -> BitCosts:
+    """Transform error-distance costs into the requested objective.
+
+    The cost vectors produced by this module hold per-input *error
+    distances*; squaring them (monotone on non-negative values) yields
+    the exact per-input cost under the mean-squared-error objective —
+    including for the predictive model, because the LSB assignment that
+    minimises ``|Ŷ − Y|`` also minimises ``(Ŷ − Y)²``.
+    """
+    if objective == "med":
+        return costs
+    if objective == "mse":
+        return BitCosts(costs.k, np.square(costs.cost0), np.square(costs.cost1))
+    raise ValueError(
+        f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+    )
+
+
+def _target_table(target) -> np.ndarray:
+    if isinstance(target, BooleanFunction):
+        return target.table
+    return np.asarray(target, dtype=np.int64)
+
+
+def rest_word(approx_table: np.ndarray, k: int) -> np.ndarray:
+    """The approximate output word with bit ``k`` cleared."""
+    return np.asarray(approx_table, dtype=np.int64) & ~np.int64(1 << k)
+
+
+def msb_word(approx_table: np.ndarray, k: int) -> np.ndarray:
+    """The approximate output word with bits ``k`` and below cleared."""
+    mask = ~np.int64((1 << (k + 1)) - 1)
+    return np.asarray(approx_table, dtype=np.int64) & mask
+
+
+def cost_vectors_fixed(target, rest: np.ndarray, k: int) -> BitCosts:
+    """Costs when every other output bit has a known value ``rest``.
+
+    ``rest`` must have bit ``k`` cleared (use :func:`rest_word`).
+    """
+    y = _target_table(target)
+    rest = np.asarray(rest, dtype=np.int64)
+    if np.any(rest & (1 << k)):
+        raise ValueError(f"rest word must have bit {k} cleared")
+    weight = np.int64(1 << k)
+    cost0 = np.abs(rest - y).astype(np.float64)
+    cost1 = np.abs(rest + weight - y).astype(np.float64)
+    return BitCosts(k, cost0, cost1)
+
+
+def cost_vectors_predictive(target, msb: np.ndarray, k: int) -> BitCosts:
+    """Costs under the paper's predictive model for the unknown LSBs.
+
+    ``msb`` holds the already-approximated bits strictly above ``k``
+    (bits ``k`` and below cleared; use :func:`msb_word`).  For a choice
+    ``j`` of bit ``k`` the reachable output interval is
+    ``[msb + j·2**k, msb + j·2**k + 2**k − 1]`` and the cost is the
+    distance from the target to that interval:
+
+    * ``Ŷ_M > Y_M`` → all LSBs 0, cost ``Ŷ_M − Y``;
+    * ``Ŷ_M < Y_M`` → all LSBs 1, cost ``Y − Ŷ_M − (2**k − 1)``;
+    * ``Ŷ_M = Y_M`` → LSBs copy the target, cost 0.
+    """
+    y = _target_table(target)
+    msb = np.asarray(msb, dtype=np.int64)
+    low_mask = np.int64((1 << (k + 1)) - 1)
+    if np.any(msb & low_mask):
+        raise ValueError(f"msb word must have bits <= {k} cleared")
+    weight = np.int64(1 << k)
+    span = weight - 1  # maximal value of the free LSBs
+
+    def interval_distance(y_hat_m: np.ndarray) -> np.ndarray:
+        below = y_hat_m - y  # positive when the interval lies above Y
+        above = y - (y_hat_m + span)  # positive when Y lies above it
+        return np.maximum(0, np.maximum(below, above)).astype(np.float64)
+
+    return BitCosts(k, interval_distance(msb), interval_distance(msb + weight))
+
+
+def cost_vectors_accurate_lsb(target, msb: np.ndarray, k: int) -> BitCosts:
+    """Costs under DALTA's round-1 model (LSBs fixed to accurate values)."""
+    y = _target_table(target)
+    msb = np.asarray(msb, dtype=np.int64)
+    low_mask = np.int64((1 << (k + 1)) - 1)
+    if np.any(msb & low_mask):
+        raise ValueError(f"msb word must have bits <= {k} cleared")
+    weight = np.int64(1 << k)
+    y_m = y & ~np.int64((1 << k) - 1)  # target with LSBs cleared, bit k kept
+    cost0 = np.abs(msb - y_m).astype(np.float64)
+    cost1 = np.abs(msb + weight - y_m).astype(np.float64)
+    return BitCosts(k, cost0, cost1)

@@ -1,0 +1,77 @@
+"""Per-output-bit operating-mode selection (paper §IV).
+
+Each output bit of a reconfigurable architecture runs in one of three
+modes:
+
+* ``bto`` — bound-table-only: the free table(s) are clock-gated, the
+  bound-table output is used directly.  Cheapest, usually least
+  accurate.
+* ``normal`` — the classic disjoint decomposition (DALTA-compatible).
+* ``nd`` — non-disjoint decomposition with one shared bound variable
+  and a second free table.  Most accurate, most area.
+
+The selection rules compare the candidate errors ``E`` (normal),
+``E_BTO`` and ``E_ND``:
+
+* BTO-Normal: pick BTO when ``E_BTO <= (1 + δ)·E``.
+* BTO-Normal-ND: pick BTO when ``E_BTO <= (1 + δ)·E`` **and**
+  ``E_ND > (1 − δ')·E``; otherwise pick ND when ``E_ND < (1 − δ)·E``;
+  otherwise normal.
+
+(The paper states strict inequalities; we accept ties toward the
+cheaper mode, which only matters for exactly-equal errors.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import AlgorithmConfig
+from .settings import Setting
+
+__all__ = ["select_mode", "select_mode_bto_normal", "select_mode_bto_normal_nd"]
+
+
+def select_mode_bto_normal(
+    normal: Setting, bto: Optional[Setting], config: AlgorithmConfig
+) -> Setting:
+    """BTO-Normal rule (§IV-A): trade ``δ`` extra error for gated power."""
+    if bto is not None and bto.error <= (1.0 + config.delta) * normal.error:
+        return bto
+    return normal
+
+
+def select_mode_bto_normal_nd(
+    normal: Setting,
+    bto: Optional[Setting],
+    nd: Optional[Setting],
+    config: AlgorithmConfig,
+) -> Setting:
+    """BTO-Normal-ND rule (§IV-B2) with thresholds ``δ < δ'``."""
+    e = normal.error
+    e_bto = bto.error if bto is not None else float("inf")
+    e_nd = nd.error if nd is not None else float("inf")
+    if e_bto <= (1.0 + config.delta) * e and e_nd > (1.0 - config.delta_prime) * e:
+        assert bto is not None
+        return bto
+    if e_nd < (1.0 - config.delta) * e:
+        assert nd is not None
+        return nd
+    return normal
+
+
+def select_mode(
+    normal: Setting,
+    bto: Optional[Setting],
+    nd: Optional[Setting],
+    config: AlgorithmConfig,
+    architecture: str,
+) -> Setting:
+    """Dispatch on the target architecture."""
+    if architecture == "normal":
+        return normal
+    if architecture == "bto-normal":
+        return select_mode_bto_normal(normal, bto, config)
+    if architecture == "bto-normal-nd":
+        return select_mode_bto_normal_nd(normal, bto, nd, config)
+    raise ValueError(f"unknown architecture {architecture!r}")

@@ -1,0 +1,229 @@
+"""Approximate non-disjoint decomposition (paper §IV-B1).
+
+A non-disjoint decomposition ``f(X) = F(φ(B), A, x_s)`` shares one
+bound variable ``x_s`` with the free part.  By Eq. (2) of the paper,
+minimising its MED is equivalent to independently minimising the MEDs
+of the two cofactor functions ``t_0 = t|x_s=0`` and ``t_1 = t|x_s=1``
+under the corresponding conditional input distributions — each a plain
+disjoint-decomposition problem over ``X \\ {x_s}`` that ``OptForPart``
+solves.
+
+The shared bit is unknown a priori; :func:`optimize_nondisjoint`
+enumerates every bound variable and keeps the best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..boolean import ops
+from ..boolean.decomposition import MultiSharedDecomposition, NonDisjointDecomposition
+from ..boolean.partition import Partition
+from .cost import BitCosts
+from .opt_for_part import opt_for_part
+
+__all__ = [
+    "NonDisjointResult",
+    "MultiSharedResult",
+    "optimize_nondisjoint",
+    "optimize_nondisjoint_shared",
+    "optimize_multi_shared",
+]
+
+
+@dataclass(frozen=True)
+class NonDisjointResult:
+    """Best non-disjoint decomposition found for a partition."""
+
+    error: float
+    decomposition: NonDisjointDecomposition
+
+    @property
+    def shared(self) -> int:
+        return self.decomposition.shared
+
+
+def _reduced_partition(partition: Partition, shared: int) -> Partition:
+    """Partition over the reduced variable numbering (``x_s`` deleted)."""
+
+    def shift(v: int) -> int:
+        return v - 1 if v > shared else v
+
+    return Partition(
+        tuple(shift(v) for v in partition.free),
+        tuple(shift(v) for v in partition.bound if v != shared),
+    )
+
+
+def optimize_nondisjoint_shared(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    shared: int,
+    *,
+    n_initial_patterns: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> NonDisjointResult:
+    """Optimal ND decomposition for a *given* shared bound variable.
+
+    Splits the per-input cost vectors by the value of ``x_s`` and
+    solves the two conditional disjoint problems; the reported error is
+    the sum of the two conditional (probability-weighted, unnormalised)
+    errors, i.e. exactly the total MED contribution of this output bit.
+    """
+    if shared not in partition.bound:
+        raise ValueError(f"shared variable {shared} not in bound set")
+    if partition.n_bound < 2:
+        raise ValueError(
+            "non-disjoint decomposition needs a bound set of size >= 2 "
+            "(removing the shared bit must leave a non-empty bound table)"
+        )
+    reduced = _reduced_partition(partition, shared)
+    keep = [i for i in range(n_inputs) if i != shared]
+    reduced_words = ops.all_inputs(n_inputs - 1)
+
+    halves = []
+    total_error = 0.0
+    for j in (0, 1):
+        full = ops.deposit_bits(reduced_words, keep) | (j << shared)
+        half_costs = BitCosts(costs.k, costs.cost0[full], costs.cost1[full])
+        weights = np.asarray(p, dtype=np.float64)[full]
+        result = opt_for_part(
+            half_costs,
+            weights,
+            reduced,
+            n_inputs - 1,
+            n_initial_patterns=n_initial_patterns,
+            rng=rng,
+        )
+        halves.append(result.decomposition)
+        total_error += result.error
+
+    decomposition = NonDisjointDecomposition(
+        partition,
+        shared,
+        halves[0].pattern,
+        halves[0].types,
+        halves[1].pattern,
+        halves[1].types,
+    )
+    return NonDisjointResult(total_error, decomposition)
+
+
+def optimize_nondisjoint(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    *,
+    n_initial_patterns: int = 30,
+    rng: Optional[np.random.Generator] = None,
+    shared_candidates: Optional[Iterable[int]] = None,
+) -> NonDisjointResult:
+    """Enumerate shared-bit choices over the bound set, keep the best.
+
+    ``shared_candidates`` restricts the enumeration (defaults to the
+    full bound set, as the paper does).
+    """
+    candidates = (
+        tuple(shared_candidates) if shared_candidates is not None else partition.bound
+    )
+    if not candidates:
+        raise ValueError("at least one shared-bit candidate is required")
+    best: Optional[NonDisjointResult] = None
+    for shared in candidates:
+        result = optimize_nondisjoint_shared(
+            costs,
+            p,
+            partition,
+            n_inputs,
+            shared,
+            n_initial_patterns=n_initial_patterns,
+            rng=rng,
+        )
+        if best is None or result.error < best.error:
+            best = result
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class MultiSharedResult:
+    """Best generalised (multi-shared-bit) decomposition found."""
+
+    error: float
+    decomposition: MultiSharedDecomposition
+
+    @property
+    def shared(self) -> Tuple[int, ...]:
+        return self.decomposition.shared
+
+
+def optimize_multi_shared(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    shared: Iterable[int],
+    *,
+    n_initial_patterns: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> MultiSharedResult:
+    """Optimal generalised ND decomposition for a given shared set ``C``.
+
+    Extends the paper's Eq. (2) to ``|C| = s`` shared bits: the total
+    MED splits into ``2**s`` conditional disjoint problems over
+    ``X \\ C``, each solved independently by ``OptForPart``.  Costs grow
+    as ``2**s`` free tables, which is exactly why the paper stops at
+    ``s = 1``; this function exists to quantify that trade-off (see the
+    ``bench_ablations`` shared-bits study).
+    """
+    shared = tuple(sorted(int(v) for v in shared))
+    if not shared:
+        raise ValueError("at least one shared variable is required")
+    for v in shared:
+        if v not in partition.bound:
+            raise ValueError(f"shared variable {v} not in bound set")
+    if len(shared) >= partition.n_bound:
+        raise ValueError("|C| must be smaller than the bound set")
+
+    shared_set = set(shared)
+
+    def shift(v: int) -> int:
+        return v - sum(1 for s in shared if s < v)
+
+    reduced = Partition(
+        tuple(shift(v) for v in partition.free),
+        tuple(shift(v) for v in partition.bound if v not in shared_set),
+    )
+    keep = [i for i in range(n_inputs) if i not in shared_set]
+    reduced_words = ops.all_inputs(n_inputs - len(shared))
+
+    patterns = []
+    types = []
+    total_error = 0.0
+    for j in range(1 << len(shared)):
+        assignment = ops.deposit_bits(np.int64(j), shared)
+        full = ops.deposit_bits(reduced_words, keep) | assignment
+        half_costs = BitCosts(costs.k, costs.cost0[full], costs.cost1[full])
+        weights = np.asarray(p, dtype=np.float64)[full]
+        result = opt_for_part(
+            half_costs,
+            weights,
+            reduced,
+            n_inputs - len(shared),
+            n_initial_patterns=n_initial_patterns,
+            rng=rng,
+        )
+        patterns.append(result.decomposition.pattern)
+        types.append(result.decomposition.types)
+        total_error += result.error
+
+    decomposition = MultiSharedDecomposition(
+        partition, shared, tuple(patterns), tuple(types)
+    )
+    return MultiSharedResult(total_error, decomposition)

@@ -1,0 +1,199 @@
+"""``OptForPart``: optimise (V, T) for a fixed variable partition.
+
+This is the inner kernel both DALTA and BS-SA spend most of their time
+in (paper §II-B).  Given the weighted cost matrices of assigning the
+output bit to 0/1 for every (row, column) of the 2D truth table, it
+alternately optimises
+
+* the type vector ``T`` given the pattern vector ``V`` — each row
+  independently picks the cheapest of the four row types, and
+* the pattern vector ``V`` given ``T`` — each column independently
+  picks the bit minimising the cost over the type-3/type-4 rows,
+
+starting from ``Z`` random initial pattern vectors and keeping the best
+local optimum.  Both half-steps are exact, so the alternation is
+monotonically non-increasing and terminates.
+
+The BTO variant (§IV-A) restricts ``T`` to all type-3 rows; the optimal
+``V`` is then found exactly in a single pass, no random restarts
+needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..boolean.decomposition import (
+    BoundOnlyDecomposition,
+    DisjointDecomposition,
+    RowType,
+)
+from ..boolean.partition import Partition
+from ..boolean.truth_table import to_matrix
+from .cost import BitCosts
+
+__all__ = ["OptForPartResult", "opt_for_part", "opt_for_part_bto", "opt_for_part_exhaustive"]
+
+#: safety cap on alternation sweeps; convergence is typically < 10
+_DEFAULT_MAX_SWEEPS = 60
+
+
+@dataclass(frozen=True)
+class OptForPartResult:
+    """Outcome of ``OptForPart`` for one partition.
+
+    ``error`` is the probability-weighted total cost (the MED, or the
+    model-predicted MED in round 1) of the returned decomposition.
+    """
+
+    error: float
+    decomposition: DisjointDecomposition
+
+    @property
+    def partition(self) -> Partition:
+        return self.decomposition.partition
+
+    @property
+    def pattern(self) -> np.ndarray:
+        return self.decomposition.pattern
+
+    @property
+    def types(self) -> np.ndarray:
+        return self.decomposition.types
+
+
+def _cost_matrices(
+    costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weighted (rows × cols) cost matrices for bit values 0 and 1."""
+    w0, w1 = costs.weighted(p)
+    d0 = to_matrix(w0, partition, n_inputs)
+    d1 = to_matrix(w1, partition, n_inputs)
+    return d0, d1
+
+
+def _optimal_types(
+    d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best type per row for each candidate pattern vector.
+
+    ``patterns`` has shape ``(Z, n_cols)``; returns ``(types, row_costs)``
+    with shapes ``(Z, n_rows)`` and ``(Z,)`` (total cost per candidate).
+    """
+    zero_cost = d0.sum(axis=1)  # type 1 per row
+    one_cost = d1.sum(axis=1)  # type 2 per row
+    v = patterns.astype(np.float64)
+    pattern_cost = d0 @ (1.0 - v).T + d1 @ v.T  # type 3: (rows, Z)
+    complement_cost = d0 @ v.T + d1 @ (1.0 - v).T  # type 4
+    z = patterns.shape[0]
+    stacked = np.empty((4, d0.shape[0], z))
+    stacked[0] = zero_cost[:, None]
+    stacked[1] = one_cost[:, None]
+    stacked[2] = pattern_cost
+    stacked[3] = complement_cost
+    best = stacked.argmin(axis=0)  # (rows, Z) in 0..3
+    row_costs = np.take_along_axis(stacked, best[None], axis=0)[0]
+    return (best + 1).astype(np.int8).T, row_costs.sum(axis=0)
+
+
+def _optimal_patterns(
+    d0: np.ndarray, d1: np.ndarray, types: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best pattern vector per candidate given its type vector.
+
+    ``types`` has shape ``(Z, n_rows)``; returns ``(patterns, totals)``.
+    """
+    mask3 = (types == RowType.PATTERN).astype(np.float64)  # (Z, rows)
+    mask4 = (types == RowType.COMPLEMENT).astype(np.float64)
+    # cost of V[c]=1: type-3 rows pay d1, type-4 rows pay d0
+    cost_one = mask3 @ d1 + mask4 @ d0  # (Z, cols)
+    cost_zero = mask3 @ d0 + mask4 @ d1
+    patterns = (cost_one < cost_zero).astype(np.uint8)
+    column_total = np.minimum(cost_zero, cost_one).sum(axis=1)
+    mask1 = types == RowType.ALL_ZERO
+    mask2 = types == RowType.ALL_ONE
+    constant_total = mask1 @ d0.sum(axis=1) + mask2 @ d1.sum(axis=1)
+    return patterns, column_total + constant_total
+
+
+def opt_for_part(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    *,
+    n_initial_patterns: int = 30,
+    rng: Optional[np.random.Generator] = None,
+    max_sweeps: int = _DEFAULT_MAX_SWEEPS,
+) -> OptForPartResult:
+    """Optimise (V, T) for ``partition`` from random initial patterns.
+
+    Parameters mirror the paper: ``n_initial_patterns`` is ``Z``.  The
+    returned error is exact for the given cost model (no sampling).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if n_initial_patterns < 1:
+        raise ValueError("n_initial_patterns must be >= 1")
+    d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
+    n_cols = partition.n_cols
+    patterns = rng.integers(0, 2, size=(n_initial_patterns, n_cols), dtype=np.uint8)
+
+    types, totals = _optimal_types(d0, d1, patterns)
+    for _ in range(max_sweeps):
+        patterns, _ = _optimal_patterns(d0, d1, types)
+        types, new_totals = _optimal_types(d0, d1, patterns)
+        converged = np.all(new_totals >= totals - 1e-12)
+        totals = new_totals
+        if converged:
+            break
+
+    best = int(np.argmin(totals))
+    decomposition = DisjointDecomposition(partition, patterns[best], types[best])
+    return OptForPartResult(float(totals[best]), decomposition)
+
+
+def opt_for_part_bto(
+    costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
+) -> OptForPartResult:
+    """BTO-restricted ``OptForPart``: all rows are forced to type 3.
+
+    With ``T`` fixed, the optimal ``V`` decomposes per column and is
+    found exactly — no random restarts, no alternation.
+    """
+    d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
+    cost_zero = d0.sum(axis=0)
+    cost_one = d1.sum(axis=0)
+    pattern = (cost_one < cost_zero).astype(np.uint8)
+    error = float(np.minimum(cost_zero, cost_one).sum())
+    return OptForPartResult(error, BoundOnlyDecomposition(partition, pattern))
+
+
+def opt_for_part_exhaustive(
+    costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
+) -> OptForPartResult:
+    """Global optimum by enumerating every pattern vector.
+
+    Exponential in ``2**b`` — a test oracle for small bound sets
+    (``b <= 4``), verifying that the alternating optimisation finds the
+    true optimum often and never reports a better-than-possible error.
+    """
+    if partition.n_bound > 4:
+        raise ValueError(
+            f"exhaustive search over 2**{partition.n_cols} patterns refused; "
+            "use bound sets of size <= 4"
+        )
+    d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
+    n_cols = partition.n_cols
+    count = 1 << n_cols
+    shifts = np.arange(n_cols, dtype=np.int64)
+    patterns = ((np.arange(count, dtype=np.int64)[:, None] >> shifts) & 1).astype(
+        np.uint8
+    )
+    types, totals = _optimal_types(d0, d1, patterns)
+    best = int(np.argmin(totals))
+    decomposition = DisjointDecomposition(partition, patterns[best], types[best])
+    return OptForPartResult(float(totals[best]), decomposition)

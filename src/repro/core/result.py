@@ -1,0 +1,76 @@
+"""Result containers shared by the approximation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..boolean.function import BooleanFunction
+from ..metrics import error as error_metrics
+from .settings import SettingSequence
+
+__all__ = ["SearchStats", "ApproximationResult"]
+
+
+@dataclass
+class SearchStats:
+    """Work counters accumulated while an algorithm runs.
+
+    ``opt_for_part_calls`` is the paper's dominant cost unit (both
+    DALTA and BS-SA "spend most of their runtime in calling the
+    function OptForPart"), so it doubles as a machine-independent
+    runtime proxy alongside wall-clock seconds.
+    """
+
+    opt_for_part_calls: int = 0
+    partitions_visited: int = 0
+    sa_iterations: int = 0
+    nd_optimizations: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.opt_for_part_calls += other.opt_for_part_calls
+        self.partitions_visited += other.partitions_visited
+        self.sa_iterations += other.sa_iterations
+        self.nd_optimizations += other.nd_optimizations
+
+
+@dataclass
+class ApproximationResult:
+    """Outcome of one full algorithm run on one target function."""
+
+    algorithm: str
+    target: BooleanFunction
+    sequence: SettingSequence
+    med: float
+    elapsed_seconds: float
+    stats: SearchStats = field(default_factory=SearchStats)
+    round_history: List[float] = field(default_factory=list)
+
+    @property
+    def approx_function(self) -> BooleanFunction:
+        return self.sequence.approx_function(self.target)
+
+    def per_bit_errors(self) -> List[float]:
+        """Recorded per-bit setting errors (search-time values)."""
+        return [
+            float("nan") if s is None else s.error for s in self.sequence.settings
+        ]
+
+    def mode_counts(self) -> Dict[str, int]:
+        return self.sequence.mode_counts()
+
+    def error_report(
+        self, p: Optional[np.ndarray] = None
+    ) -> error_metrics.ErrorReport:
+        return error_metrics.ErrorReport(
+            self.target, self.approx_function, self.target.n_outputs, p
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximationResult(algorithm={self.algorithm!r}, "
+            f"target={self.target.name!r}, med={self.med:.4g}, "
+            f"time={self.elapsed_seconds:.2f}s)"
+        )

@@ -1,0 +1,195 @@
+"""Serialisation of compiled configurations.
+
+A compiled approximate LUT is fully described by its target shape and
+per-output-bit decomposition settings; this module round-trips that
+description through plain JSON so configurations can be stored in a
+repo, diffed, and reloaded without rerunning the optimiser.
+
+The format is versioned and self-describing::
+
+    {
+      "format": "repro-approx-lut",
+      "version": 1,
+      "target": {"name": ..., "n_inputs": ..., "n_outputs": ...},
+      "architecture": "bto-normal-nd",
+      "settings": [ {per-bit setting}, ... ]        # LSB first
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from ..boolean.decomposition import (
+    BoundOnlyDecomposition,
+    DisjointDecomposition,
+    MultiSharedDecomposition,
+    NonDisjointDecomposition,
+)
+from ..boolean.function import BooleanFunction
+from ..boolean.partition import Partition
+from .compiler import ApproxLUT
+from .result import ApproximationResult, SearchStats
+from .settings import Setting, SettingSequence
+
+__all__ = [
+    "setting_to_dict",
+    "setting_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+]
+
+_FORMAT = "repro-approx-lut"
+_VERSION = 1
+
+
+def _bits_to_string(bits: np.ndarray) -> str:
+    return "".join(str(int(b)) for b in bits)
+
+
+def _bits_from_string(text: str) -> np.ndarray:
+    return np.frombuffer(text.encode(), dtype=np.uint8) - ord("0")
+
+
+def setting_to_dict(setting: Setting) -> Dict:
+    """Serialise one per-bit setting."""
+    dec = setting.decomposition
+    payload: Dict = {
+        "error": setting.error,
+        "mode": setting.mode,
+        "free": list(dec.partition.free),
+        "bound": list(dec.partition.bound),
+    }
+    if isinstance(dec, MultiSharedDecomposition):
+        payload.update(
+            shared=list(dec.shared),
+            patterns=[_bits_to_string(v) for v in dec.patterns],
+            types=[[int(t) for t in vec] for vec in dec.types],
+        )
+    elif isinstance(dec, NonDisjointDecomposition):
+        payload.update(
+            shared=dec.shared,
+            pattern0=_bits_to_string(dec.pattern0),
+            types0=[int(t) for t in dec.types0],
+            pattern1=_bits_to_string(dec.pattern1),
+            types1=[int(t) for t in dec.types1],
+        )
+    elif isinstance(dec, BoundOnlyDecomposition):
+        payload["pattern"] = _bits_to_string(dec.pattern)
+    elif isinstance(dec, DisjointDecomposition):
+        payload["pattern"] = _bits_to_string(dec.pattern)
+        payload["types"] = [int(t) for t in dec.types]
+    else:
+        raise TypeError(f"cannot serialise {type(dec).__name__}")
+    return payload
+
+
+def setting_from_dict(payload: Dict) -> Setting:
+    """Inverse of :func:`setting_to_dict`."""
+    partition = Partition(tuple(payload["free"]), tuple(payload["bound"]))
+    mode = payload["mode"]
+    if mode == "nd-multi":
+        dec = MultiSharedDecomposition(
+            partition,
+            tuple(int(v) for v in payload["shared"]),
+            tuple(_bits_from_string(v) for v in payload["patterns"]),
+            tuple(np.array(vec, dtype=np.int8) for vec in payload["types"]),
+        )
+    elif mode == "nd":
+        dec = NonDisjointDecomposition(
+            partition,
+            int(payload["shared"]),
+            _bits_from_string(payload["pattern0"]),
+            np.array(payload["types0"], dtype=np.int8),
+            _bits_from_string(payload["pattern1"]),
+            np.array(payload["types1"], dtype=np.int8),
+        )
+    elif mode == "bto":
+        dec = BoundOnlyDecomposition(
+            partition, _bits_from_string(payload["pattern"])
+        )
+    elif mode == "normal":
+        dec = DisjointDecomposition(
+            partition,
+            _bits_from_string(payload["pattern"]),
+            np.array(payload["types"], dtype=np.int8),
+        )
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return Setting(float(payload["error"]), dec)
+
+
+def dumps(lut: ApproxLUT) -> str:
+    """Serialise a compiled LUT's configuration to a JSON string.
+
+    Only the configuration is stored, not the target's truth table —
+    reloading requires the same target function (checked by shape and
+    name).
+    """
+    sequence = lut.sequence
+    if not sequence.is_complete():
+        raise ValueError("cannot serialise an incomplete setting sequence")
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "target": {
+            "name": lut.target.name,
+            "n_inputs": lut.target.n_inputs,
+            "n_outputs": lut.target.n_outputs,
+        },
+        "architecture": lut.architecture,
+        "med": lut.med,
+        "settings": [setting_to_dict(s) for s in sequence.settings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def loads(text: str, target: BooleanFunction) -> ApproxLUT:
+    """Reconstruct a compiled LUT from JSON against its target function."""
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')}")
+    declared = payload["target"]
+    if (
+        declared["n_inputs"] != target.n_inputs
+        or declared["n_outputs"] != target.n_outputs
+    ):
+        raise ValueError(
+            f"target shape mismatch: document is for "
+            f"{declared['n_inputs']}x{declared['n_outputs']}, got "
+            f"{target.n_inputs}x{target.n_outputs}"
+        )
+    settings = [setting_from_dict(s) for s in payload["settings"]]
+    sequence = SettingSequence(target.n_outputs, settings)
+
+    from ..metrics import distributions
+
+    p = distributions.uniform(target.n_inputs)
+    result = ApproximationResult(
+        algorithm="loaded",
+        target=target,
+        sequence=sequence,
+        med=sequence.med(target, p),
+        elapsed_seconds=0.0,
+        stats=SearchStats(),
+    )
+    return ApproxLUT(target, result, payload["architecture"], p)
+
+
+def save(lut: ApproxLUT, path: str) -> None:
+    """Write a compiled configuration to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(lut))
+
+
+def load(path: str, target: BooleanFunction) -> ApproxLUT:
+    """Read a compiled configuration from a file."""
+    with open(path) as handle:
+        return loads(handle.read(), target)

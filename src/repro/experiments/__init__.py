@@ -1,0 +1,48 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+* :mod:`repro.experiments.table1` — the benchmark suite listing.
+* :mod:`repro.experiments.table2` — DALTA vs BS-SA statistics.
+* :mod:`repro.experiments.fig5` — architecture comparison.
+* :mod:`repro.experiments.fig6` — accuracy-energy trade-off sweep.
+* :mod:`repro.experiments.ablation` — design-choice ablations.
+"""
+
+from .ablation import AblationResult, run_ablation
+from .fig5 import Fig5Metrics, Fig5Result, run_fig5
+from .fig6 import Fig6Point, Fig6Result, per_bit_candidates, run_fig6, sweep_tradeoff
+from .shared_bits import SharedBitsPoint, SharedBitsResult, run_shared_bits_study
+from .distribution_study import DistributionStudyResult, run_distribution_study
+from .parallel import RunSpec, run_many
+from .runner import ExperimentScale, build_suite, repeated_runs
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+from . import reporting
+
+__all__ = [
+    "AblationResult",
+    "run_ablation",
+    "Fig5Metrics",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Point",
+    "Fig6Result",
+    "per_bit_candidates",
+    "run_fig6",
+    "sweep_tradeoff",
+    "SharedBitsPoint",
+    "SharedBitsResult",
+    "run_shared_bits_study",
+    "DistributionStudyResult",
+    "run_distribution_study",
+    "RunSpec",
+    "run_many",
+    "ExperimentScale",
+    "build_suite",
+    "repeated_runs",
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "Table2Row",
+    "run_table2",
+    "reporting",
+]

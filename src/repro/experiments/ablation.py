@@ -1,0 +1,142 @@
+"""Ablation studies of the BS-SA design choices (DESIGN.md §3).
+
+Three ablations isolate the paper's three algorithmic contributions:
+
+* ``predictive_model`` — round-1 LSB model: the §III-B predictive
+  model vs DALTA's accurate-LSB model, all else equal.
+* ``beam_width`` — Algorithm 1's beam search: sweep ``N_beam``
+  (``N_beam = 1`` degenerates to greedy selection).
+* ``partition_search`` — Algorithm 2's SA walk vs DALTA-style random
+  partition sampling under the same ``P`` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bs_sa import run_bssa
+from . import reporting
+from .runner import ExperimentScale, build_suite, repeated_runs
+
+__all__ = ["AblationResult", "run_ablation"]
+
+
+@dataclass
+class AblationResult:
+    """MED statistics per variant per benchmark."""
+
+    name: str
+    scale_name: str
+    n_inputs: int
+    variants: List[str] = field(default_factory=list)
+    # benchmark -> variant -> {min, avg, stdev}
+    rows: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def geomeans(self) -> Dict[str, Dict[str, float]]:
+        """variant -> {min, avg, stdev} geomeans over benchmarks."""
+        out: Dict[str, Dict[str, float]] = {}
+        for variant in self.variants:
+            out[variant] = {
+                key: reporting.geomean(
+                    bench[variant][key] for bench in self.rows.values()
+                )
+                for key in ("min", "avg", "stdev")
+            }
+        return out
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [f"{v} avg" for v in self.variants]
+        body = [
+            [bench] + [self.rows[bench][v]["avg"] for v in self.variants]
+            for bench in self.rows
+        ]
+        g = self.geomeans()
+        body.append(["GEOMEAN"] + [g[v]["avg"] for v in self.variants])
+        return reporting.format_table(
+            headers,
+            body,
+            title=(
+                f"Ablation: {self.name} — scale={self.scale_name}, "
+                f"{self.n_inputs}-bit benchmarks (average MED)"
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "ablation": self.name,
+            "scale": self.scale_name,
+            "variants": self.variants,
+            "rows": self.rows,
+            "geomeans": self.geomeans(),
+        }
+
+
+def _collect(
+    result: AblationResult,
+    suite,
+    variant_runners: Dict[str, "object"],
+    n_runs: int,
+    base_seed: int,
+) -> AblationResult:
+    result.variants = list(variant_runners)
+    for bench_name, target in suite.items():
+        result.rows[bench_name] = {}
+        for offset, (variant, runner) in enumerate(variant_runners.items()):
+            runs = repeated_runs(
+                lambda rng, _r=runner: _r(target, rng),
+                n_runs,
+                base_seed + 1000 * offset,
+            )
+            result.rows[bench_name][variant] = reporting.summarize_runs(
+                [r.med for r in runs]
+            )
+    return result
+
+
+def run_ablation(
+    name: str,
+    scale: Optional[ExperimentScale] = None,
+    base_seed: int = 0,
+    beam_widths: Sequence[int] = (1, 2, 3),
+) -> AblationResult:
+    """Run one named ablation; see the module docstring for choices."""
+    if scale is None:
+        scale = ExperimentScale.default()
+    suite = build_suite(scale)
+    config = scale.bssa_config
+    result = AblationResult(name, scale.name, scale.n_inputs)
+
+    if name == "predictive_model":
+        runners = {
+            "predictive": lambda t, rng: run_bssa(
+                t, config, rng=rng, lsb_model="predictive"
+            ),
+            "accurate-lsb": lambda t, rng: run_bssa(
+                t, config, rng=rng, lsb_model="accurate"
+            ),
+        }
+    elif name == "beam_width":
+        runners = {
+            f"n_beam={w}": (
+                lambda t, rng, _w=w: run_bssa(
+                    t, replace(config, n_beam=_w), rng=rng
+                )
+            )
+            for w in beam_widths
+        }
+    elif name == "partition_search":
+        runners = {
+            "sa": lambda t, rng: run_bssa(t, config, rng=rng, partition_search="sa"),
+            "random": lambda t, rng: run_bssa(
+                t, config, rng=rng, partition_search="random"
+            ),
+        }
+    else:
+        raise ValueError(
+            f"unknown ablation {name!r}; choose from "
+            "'predictive_model', 'beam_width', 'partition_search'"
+        )
+    return _collect(result, suite, runners, scale.n_runs, base_seed)

@@ -1,0 +1,97 @@
+"""Report formatting shared by the experiment harnesses.
+
+Renders the regenerated tables/figures as monospace text (the bench
+targets print these) and serialises raw results to JSON for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "geomean",
+    "normalize_to",
+    "format_table",
+    "format_value",
+    "to_json",
+    "summarize_runs",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; zero/negative entries are floored to a tiny value.
+
+    The paper reports geometric means over benchmarks whose MEDs span
+    four orders of magnitude; Brent-Kung's near-zero MEDs make a strict
+    geomean degenerate, so values are floored at ``1e-12``.
+    """
+    values = [max(float(v), 1e-12) for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to(values: Dict[str, float], reference: str) -> Dict[str, float]:
+    """Divide every entry by the reference entry (DALTA = 1.0 in Fig. 5)."""
+    ref = values[reference]
+    if ref == 0:
+        raise ValueError(f"reference {reference!r} is zero; cannot normalise")
+    return {key: value / ref for key, value in values.items()}
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 10000 or magnitude < 0.001:
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def summarize_runs(meds: Sequence[float]) -> Dict[str, float]:
+    """Min / average / standard deviation of repeated-run MEDs.
+
+    Matches Table II's statistics (population standard deviation).
+    """
+    if not meds:
+        raise ValueError("no runs to summarise")
+    n = len(meds)
+    mean = sum(meds) / n
+    variance = sum((m - mean) ** 2 for m in meds) / n
+    return {"min": min(meds), "avg": mean, "stdev": math.sqrt(variance)}
+
+
+def to_json(payload, path: Optional[str] = None) -> str:
+    """Serialise a result payload; optionally write it to ``path``."""
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,63 @@
+"""Table I: the benchmark suite listing.
+
+Thin harness over :func:`repro.workloads.table1_rows` that also builds
+every benchmark (so the bench target actually exercises the
+generators) and sanity-checks the declared output widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..workloads import registry
+from . import reporting
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """The regenerated Table I."""
+
+    n_inputs: int
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["benchmark", "kind", "#input", "#output", "domain", "range"]
+        body = []
+        for row in self.rows:
+            domain = row.get("domain")
+            value_range = row.get("range")
+            body.append(
+                [
+                    row["benchmark"],
+                    row["kind"],
+                    row["n_inputs"],
+                    row["n_outputs"],
+                    f"[{domain[0]:g}, {domain[1]:g}]" if domain else "-",
+                    f"[{value_range[0]:g}, {value_range[1]:g}]"
+                    if value_range
+                    else "-",
+                ]
+            )
+        return reporting.format_table(
+            headers, body, title=f"Table I reproduction — {self.n_inputs}-bit inputs"
+        )
+
+    def as_dict(self) -> dict:
+        return {"n_inputs": self.n_inputs, "rows": self.rows}
+
+
+def run_table1(n_inputs: int = 16, build: bool = True) -> Table1Result:
+    """Regenerate Table I; ``build=True`` also tabulates every function."""
+    rows = registry.table1_rows(n_inputs)
+    if build:
+        for row in rows:
+            function = registry.get(str(row["benchmark"]), n_inputs)
+            if function.n_outputs != row["n_outputs"]:
+                raise AssertionError(
+                    f"{row['benchmark']}: declared {row['n_outputs']} outputs, "
+                    f"built {function.n_outputs}"
+                )
+    return Table1Result(n_inputs, rows)

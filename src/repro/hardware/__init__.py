@@ -1,0 +1,64 @@
+"""Gate-level hardware model: cells, blocks, architectures, engines.
+
+This subpackage substitutes for the paper's Verilog + Synopsys flow
+(DC for area/timing, VCS for functional verification, PrimeTime for
+power) with an equivalent Python model — see DESIGN.md §4 for the
+substitution argument.
+"""
+
+from .area import AreaReport, area_report
+from .architectures import (
+    BtoNormalDesign,
+    MultiSharedNdDesign,
+    BtoNormalNdDesign,
+    DaltaDesign,
+    Design,
+    ExactLutDesign,
+    RoundInDesign,
+    RoundOutDesign,
+    build_architecture,
+)
+from .cells import NANGATE45, Cell, CellLibrary
+from .export import design_to_dict, export_design
+from .lut_ram import LutRam
+from .netlist import Block, ClockGateBlock, Mux2Block, ToggleLedger
+from .power import EnergyReport, measure_energy, random_read_workload
+from .routing import RoutingBox
+from .simulate import VerificationResult, verify_design
+from .timing import TimingReport, timing_report
+from .verilog import emit_design, emit_memory_images, emit_testbench
+
+__all__ = [
+    "AreaReport",
+    "area_report",
+    "BtoNormalDesign",
+    "MultiSharedNdDesign",
+    "BtoNormalNdDesign",
+    "DaltaDesign",
+    "Design",
+    "ExactLutDesign",
+    "RoundInDesign",
+    "RoundOutDesign",
+    "build_architecture",
+    "NANGATE45",
+    "design_to_dict",
+    "export_design",
+    "Cell",
+    "CellLibrary",
+    "LutRam",
+    "Block",
+    "ClockGateBlock",
+    "Mux2Block",
+    "ToggleLedger",
+    "EnergyReport",
+    "measure_energy",
+    "random_read_workload",
+    "RoutingBox",
+    "VerificationResult",
+    "verify_design",
+    "TimingReport",
+    "timing_report",
+    "emit_design",
+    "emit_memory_images",
+    "emit_testbench",
+]

@@ -1,0 +1,702 @@
+"""Gate-level architecture generators.
+
+Builds the structural model of every architecture the paper evaluates:
+
+* :class:`DaltaDesign` — DALTA's approximate single-output LUTs
+  (Fig. 1(b)): routing box + bound table + free table per output bit.
+* :class:`BtoNormalDesign` — the first reconfigurable architecture
+  (Fig. 2(b)): adds a clock gate on the free table and an output mux so
+  each bit can run bound-table-only.
+* :class:`BtoNormalNdDesign` — the second architecture (Fig. 4): two
+  free tables, supporting BTO / normal / non-disjoint modes per bit.
+* :class:`ExactLutDesign`, :class:`RoundOutDesign`,
+  :class:`RoundInDesign` — the exact LUT and the two rounding baselines
+  of §V-B.
+
+Every design supports functional simulation with exact per-cell toggle
+accounting; the architecture output is asserted against the
+decomposition semantics by :func:`repro.hardware.simulate.verify_design`
+(our stand-in for the paper's VCS verification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..boolean.decomposition import (
+    DisjointDecomposition,
+    MultiSharedDecomposition,
+    NonDisjointDecomposition,
+)
+from ..boolean.function import BooleanFunction
+from ..core.settings import SettingSequence
+from .cells import CellLibrary, NANGATE45
+from .lut_ram import LutRam
+from .netlist import ClockGateBlock, Mux2Block, ToggleLedger, merge_census
+from .routing import RoutingBox
+
+__all__ = [
+    "Design",
+    "DaltaDesign",
+    "BtoNormalDesign",
+    "BtoNormalNdDesign",
+    "MultiSharedNdDesign",
+    "ExactLutDesign",
+    "RoundOutDesign",
+    "RoundInDesign",
+    "build_architecture",
+]
+
+
+# ======================================================================
+# Per-output-bit units
+# ======================================================================
+class _UnitBase:
+    """One output bit's datapath; shared plumbing of the three units."""
+
+    def __init__(self, name: str, n_inputs: int, decomposition, library) -> None:
+        self.name = name
+        self.n_inputs = n_inputs
+        self.decomposition = decomposition
+        self.library = library
+        partition = decomposition.partition
+        partition.validate_for(n_inputs)
+        self.partition = partition
+        self.n_bound = partition.n_bound
+        self.n_free = partition.n_free
+        # Route bound bits onto the low pins, free bits above (Fig. 1(b)).
+        permutation = partition.bound + partition.free
+        self.routing = RoutingBox(f"{name}.route", n_inputs, permutation, library)
+        self.bound_ram = LutRam(
+            f"{name}.bound", self.n_bound, 1, decomposition.bound_table(), library
+        )
+
+    @property
+    def mode(self) -> str:
+        return self.decomposition.mode
+
+    def _split(self, routed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(bound address, free row index) of each routed word."""
+        mask = (1 << self.n_bound) - 1
+        return routed & mask, routed >> self.n_bound
+
+    @staticmethod
+    def _free_contents(decomposition: DisjointDecomposition) -> np.ndarray:
+        """Flatten ``F[row, φ]`` into address order ``(row << 1) | φ``."""
+        return decomposition.free_table().reshape(-1)
+
+    def census(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def critical_path_ps(self) -> float:
+        raise NotImplementedError
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SingleOutputUnit(_UnitBase):
+    """DALTA's approximate single-output LUT (normal mode only)."""
+
+    def __init__(self, name, n_inputs, decomposition, library) -> None:
+        if not isinstance(decomposition, DisjointDecomposition):
+            raise TypeError("DALTA units host disjoint decompositions only")
+        if decomposition.mode not in ("normal", "bto"):
+            raise ValueError(
+                f"DALTA architecture cannot host mode {decomposition.mode!r}"
+            )
+        if decomposition.mode == "bto":
+            raise ValueError(
+                "DALTA's rigid architecture has no BTO mode; "
+                "use the bto-normal architecture"
+            )
+        super().__init__(name, n_inputs, decomposition, library)
+        self.free_ram = LutRam(
+            f"{name}.free",
+            self.n_free + 1,
+            1,
+            self._free_contents(decomposition),
+            library,
+        )
+
+    def census(self) -> Dict[str, int]:
+        return merge_census(
+            [self.routing.census(), self.bound_ram.census(), self.free_ram.census()]
+        )
+
+    def critical_path_ps(self) -> float:
+        return (
+            self.routing.critical_path_ps()
+            + self.bound_ram.critical_path_ps()
+            + self.free_ram.critical_path_ps()
+        )
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        routed = self.routing.simulate(words, ledger)
+        bound_addr, row = self._split(routed)
+        phi = self.bound_ram.simulate(bound_addr, ledger)
+        free_addr = (row << 1) | phi
+        return self.free_ram.simulate(free_addr, ledger)
+
+
+class BtoNormalUnit(_UnitBase):
+    """Fig. 2(b): free table behind a clock gate, output mux on *mode*."""
+
+    def __init__(self, name, n_inputs, decomposition, library) -> None:
+        if not isinstance(decomposition, DisjointDecomposition):
+            raise TypeError("BTO-Normal units host disjoint decompositions only")
+        if decomposition.mode not in ("normal", "bto"):
+            raise ValueError(
+                f"BTO-Normal architecture cannot host mode {decomposition.mode!r}"
+            )
+        super().__init__(name, n_inputs, decomposition, library)
+        self.free_ram = LutRam(
+            f"{name}.free",
+            self.n_free + 1,
+            1,
+            self._free_contents(decomposition),
+            library,
+        )
+        self.gate = ClockGateBlock(f"{name}.gate", library)
+        self.out_mux = Mux2Block(f"{name}.mux", 1, library)
+
+    def census(self) -> Dict[str, int]:
+        return merge_census(
+            [
+                self.routing.census(),
+                self.bound_ram.census(),
+                self.free_ram.census(),
+                self.gate.census(),
+                self.out_mux.census(),
+            ]
+        )
+
+    def critical_path_ps(self) -> float:
+        # Timing is set by the structure (normal-mode worst case),
+        # independent of the configured mode — the paper's equal-delay
+        # constraint.
+        return (
+            self.routing.critical_path_ps()
+            + self.bound_ram.critical_path_ps()
+            + self.free_ram.critical_path_ps()
+            + self.out_mux.critical_path_ps()
+        )
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        routed = self.routing.simulate(words, ledger)
+        bound_addr, row = self._split(routed)
+        phi = self.bound_ram.simulate(bound_addr, ledger)
+        normal = self.mode == "normal"
+        self.gate.simulate(len(words), enabled=normal, ledger=ledger)
+        if normal:
+            free_addr = (row << 1) | phi
+            free_out = self.free_ram.simulate(free_addr, ledger, enabled=True)
+            select = np.ones(len(words), dtype=bool)
+        else:
+            # Gated free table: clock off, output frozen.
+            free_out = np.zeros(len(words), dtype=np.int64)
+            select = np.zeros(len(words), dtype=bool)
+        return self.out_mux.simulate(select, phi, free_out, ledger)
+
+
+class BtoNormalNdUnit(_UnitBase):
+    """Fig. 4: two gated free tables; BTO / normal / ND per configuration."""
+
+    def __init__(self, name, n_inputs, decomposition, library) -> None:
+        super().__init__(name, n_inputs, decomposition, library)
+        n_free_addr = self.n_free + 1
+        zeros = np.zeros(1 << n_free_addr, dtype=np.int64)
+        if isinstance(decomposition, NonDisjointDecomposition):
+            table0, table1 = decomposition.free_tables()
+            contents0 = table0.reshape(-1)
+            contents1 = table1.reshape(-1)
+            # Bit position of the shared variable on the routed word.
+            self.shared_pos: Optional[int] = self.partition.bound.index(
+                decomposition.shared
+            )
+        elif isinstance(decomposition, DisjointDecomposition):
+            if decomposition.mode == "normal":
+                contents0 = self._free_contents(decomposition)
+            else:  # bto — free tables unused
+                contents0 = zeros
+            contents1 = zeros
+            self.shared_pos = None
+        else:
+            raise TypeError(f"unsupported decomposition {type(decomposition)!r}")
+        self.free0 = LutRam(f"{name}.free0", n_free_addr, 1, contents0, library)
+        self.free1 = LutRam(f"{name}.free1", n_free_addr, 1, contents1, library)
+        self.gate0 = ClockGateBlock(f"{name}.gate0", library)
+        self.gate1 = ClockGateBlock(f"{name}.gate1", library)
+        self.xs_mux = Mux2Block(f"{name}.xsmux", 1, library)
+        self.out_mux = Mux2Block(f"{name}.outmux", 1, library)
+
+    def census(self) -> Dict[str, int]:
+        return merge_census(
+            [
+                self.routing.census(),
+                self.bound_ram.census(),
+                self.free0.census(),
+                self.free1.census(),
+                self.gate0.census(),
+                self.gate1.census(),
+                self.xs_mux.census(),
+                self.out_mux.census(),
+            ]
+        )
+
+    def critical_path_ps(self) -> float:
+        return (
+            self.routing.critical_path_ps()
+            + self.bound_ram.critical_path_ps()
+            + self.free0.critical_path_ps()
+            + self.xs_mux.critical_path_ps()
+            + self.out_mux.critical_path_ps()
+        )
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        routed = self.routing.simulate(words, ledger)
+        bound_addr, row = self._split(routed)
+        phi = self.bound_ram.simulate(bound_addr, ledger)
+        cycles = len(words)
+        mode = self.mode
+        zeros = np.zeros(cycles, dtype=np.int64)
+
+        on0 = mode in ("normal", "nd")
+        on1 = mode == "nd"
+        self.gate0.simulate(cycles, enabled=on0, ledger=ledger)
+        self.gate1.simulate(cycles, enabled=on1, ledger=ledger)
+
+        free_addr = (row << 1) | phi
+        out0 = self.free0.simulate(free_addr, ledger, enabled=on0) if on0 else zeros
+        out1 = self.free1.simulate(free_addr, ledger, enabled=on1) if on1 else zeros
+
+        if mode == "nd":
+            assert self.shared_pos is not None
+            xs = ((bound_addr >> self.shared_pos) & 1).astype(bool)
+        else:
+            xs = np.zeros(cycles, dtype=bool)
+        free_path = self.xs_mux.simulate(xs, out0, out1, ledger)
+
+        select_free = np.full(cycles, mode != "bto", dtype=bool)
+        return self.out_mux.simulate(select_free, phi, free_path, ledger)
+
+
+class MultiSharedNdUnit(_UnitBase):
+    """Extension unit: ``2**s`` gated free tables, mux tree on ``C``.
+
+    Hosts :class:`MultiSharedDecomposition` settings (and plain
+    disjoint settings, which simply gate the surplus tables) on a
+    homogeneous architecture with ``n_free_tables = 2**s_max`` free
+    tables per output bit.  Not part of the paper — this is the
+    generalisation it rules out on cost grounds, built to measure that
+    cost (see the shared-bits ablation).
+    """
+
+    def __init__(self, name, n_inputs, decomposition, library, n_shared_max=1):
+        super().__init__(name, n_inputs, decomposition, library)
+        self.n_shared_max = int(n_shared_max)
+        if self.n_shared_max < 1:
+            raise ValueError("n_shared_max must be >= 1")
+        n_tables = 1 << self.n_shared_max
+        n_free_addr = self.n_free + 1
+        zeros = np.zeros(1 << n_free_addr, dtype=np.int64)
+
+        if isinstance(decomposition, MultiSharedDecomposition):
+            if decomposition.n_shared > self.n_shared_max:
+                raise ValueError(
+                    f"decomposition shares {decomposition.n_shared} bits but the "
+                    f"architecture provides only 2**{self.n_shared_max} tables"
+                )
+            tables = [t.reshape(-1) for t in decomposition.free_tables()]
+            positions = {v: i for i, v in enumerate(self.partition.bound)}
+            self.select_positions = [positions[v] for v in decomposition.shared]
+        elif isinstance(decomposition, DisjointDecomposition):
+            if decomposition.mode == "bto":
+                tables = []
+            else:
+                tables = [self._free_contents(decomposition)]
+            self.select_positions = []
+        else:
+            raise TypeError(f"unsupported decomposition {type(decomposition)!r}")
+
+        self.active_tables = len(tables)
+        while len(tables) < n_tables:
+            tables.append(zeros)
+        self.free_rams = [
+            LutRam(f"{name}.free{j}", n_free_addr, 1, tables[j], library)
+            for j in range(n_tables)
+        ]
+        self.gates = [
+            ClockGateBlock(f"{name}.gate{j}", library) for j in range(n_tables)
+        ]
+        self.select_muxes = Mux2Block(f"{name}.selmux", max(1, n_tables - 1), library)
+        self.out_mux = Mux2Block(f"{name}.outmux", 1, library)
+
+    def census(self) -> Dict[str, int]:
+        blocks = [self.routing, self.bound_ram, self.select_muxes, self.out_mux]
+        blocks += self.free_rams + self.gates
+        return merge_census(block.census() for block in blocks)
+
+    def critical_path_ps(self) -> float:
+        return (
+            self.routing.critical_path_ps()
+            + self.bound_ram.critical_path_ps()
+            + self.free_rams[0].critical_path_ps()
+            + self.library.delay_ps("MUX2_X1", stages=self.n_shared_max)
+            + self.out_mux.critical_path_ps()
+        )
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        routed = self.routing.simulate(words, ledger)
+        bound_addr, row = self._split(routed)
+        phi = self.bound_ram.simulate(bound_addr, ledger)
+        cycles = len(words)
+        free_addr = (row << 1) | phi
+        zeros = np.zeros(cycles, dtype=np.int64)
+
+        outputs = []
+        for j, (ram, gate) in enumerate(zip(self.free_rams, self.gates)):
+            enabled = j < self.active_tables
+            gate.simulate(cycles, enabled=enabled, ledger=ledger)
+            if enabled:
+                outputs.append(ram.simulate(free_addr, ledger, enabled=True))
+            else:
+                ram.simulate(free_addr[:0], ledger, enabled=False)
+                outputs.append(zeros)
+
+        # Reduce through the select-mux tree on the shared bits.
+        if self.select_positions:
+            select_bits = [
+                ((bound_addr >> pos) & 1).astype(bool)
+                for pos in self.select_positions
+            ]
+            level = outputs[: 1 << len(self.select_positions)]
+            for depth, bits in enumerate(select_bits):
+                level = [
+                    self._mux_pair(level[2 * i], level[2 * i + 1], bits, ledger)
+                    for i in range(len(level) // 2)
+                ]
+            free_out = level[0]
+        else:
+            free_out = outputs[0]
+
+        is_bto = self.mode == "bto"
+        select = np.full(cycles, not is_bto, dtype=bool)
+        return self.out_mux.simulate(select, phi, free_out, ledger)
+
+    def _mux_pair(self, value0, value1, select, ledger) -> np.ndarray:
+        out = np.where(select, value1, value0)
+        from .netlist import toggles_between
+
+        ledger.add("MUX2_X1", toggles_between(out.astype(np.int64)))
+        return out
+
+
+# ======================================================================
+# Designs
+# ======================================================================
+class Design:
+    """Base class: a complete multi-output architecture instance."""
+
+    def __init__(
+        self,
+        name: str,
+        target: BooleanFunction,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        self.name = name
+        self.target = target
+        self.library = library or NANGATE45
+
+    @property
+    def n_inputs(self) -> int:
+        return self.target.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.target.n_outputs
+
+    # -- to be provided by subclasses -----------------------------------
+    def census(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def critical_path_ps(self) -> float:
+        raise NotImplementedError
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        """Functional + power simulation of a read sequence."""
+        raise NotImplementedError
+
+    def approx_table(self) -> np.ndarray:
+        """The output word the design should produce for every input."""
+        raise NotImplementedError
+
+    def storage_bits(self) -> int:
+        """Total LUT storage bits (DFF count of the RAM blocks)."""
+        return self.census().get("DFF_X1", 0)
+
+    # -- rollups ---------------------------------------------------------
+    def area_um2(self) -> float:
+        return self.library.area_um2(self.census())
+
+    def leakage_nw(self) -> float:
+        return self.library.leakage_nw(self.census())
+
+    def mode_counts(self) -> Dict[str, int]:
+        return {}
+
+    def report(self) -> str:
+        lines = [
+            f"design {self.name}: {self.n_inputs}-input {self.n_outputs}-output",
+            f"  area: {self.area_um2():.1f} um^2",
+            f"  leakage: {self.leakage_nw() / 1000:.2f} uW",
+            f"  critical path: {self.critical_path_ps():.0f} ps",
+            f"  LUT storage: {self.storage_bits()} bits",
+        ]
+        modes = self.mode_counts()
+        if modes:
+            lines.append(f"  modes: {modes}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class _DecomposedDesign(Design):
+    """Common shape of the three decomposition-based designs."""
+
+    unit_class = SingleOutputUnit
+
+    def __init__(
+        self,
+        name: str,
+        target: BooleanFunction,
+        sequence: SettingSequence,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        super().__init__(name, target, library)
+        if not sequence.is_complete():
+            raise ValueError("sequence must have a setting for every output bit")
+        if len(sequence) != target.n_outputs:
+            raise ValueError(
+                f"sequence covers {len(sequence)} bits, target has "
+                f"{target.n_outputs} outputs"
+            )
+        self.sequence = sequence
+        self.units: List[_UnitBase] = [
+            self.unit_class(
+                f"{name}.bit{k}",
+                target.n_inputs,
+                sequence[k].decomposition,
+                self.library,
+            )
+            for k in range(target.n_outputs)
+        ]
+
+    def census(self) -> Dict[str, int]:
+        return merge_census(unit.census() for unit in self.units)
+
+    def critical_path_ps(self) -> float:
+        return max(unit.critical_path_ps() for unit in self.units)
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        words = np.asarray(words, dtype=np.int64)
+        output = np.zeros(len(words), dtype=np.int64)
+        for k, unit in enumerate(self.units):
+            output |= unit.simulate(words, ledger).astype(np.int64) << k
+        return output
+
+    def approx_table(self) -> np.ndarray:
+        return self.sequence.approx_function(self.target).table
+
+    def mode_counts(self) -> Dict[str, int]:
+        return self.sequence.mode_counts()
+
+
+class DaltaDesign(_DecomposedDesign):
+    """The baseline DALTA architecture (normal mode only)."""
+
+    unit_class = SingleOutputUnit
+
+
+class BtoNormalDesign(_DecomposedDesign):
+    """Reconfigurable architecture #1: BTO + normal modes."""
+
+    unit_class = BtoNormalUnit
+
+
+class BtoNormalNdDesign(_DecomposedDesign):
+    """Reconfigurable architecture #2: BTO + normal + ND modes."""
+
+    unit_class = BtoNormalNdUnit
+
+
+class MultiSharedNdDesign(Design):
+    """Extension design: every output bit on a multi-shared ND unit.
+
+    A homogeneous array of :class:`MultiSharedNdUnit` with
+    ``2**n_shared_max`` free tables per output bit; disjoint settings
+    gate the surplus tables.  Built for the shared-bits ablation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target: BooleanFunction,
+        sequence: SettingSequence,
+        n_shared_max: int = 1,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        super().__init__(name, target, library)
+        if not sequence.is_complete():
+            raise ValueError("sequence must have a setting for every output bit")
+        self.sequence = sequence
+        self.n_shared_max = n_shared_max
+        self.units = [
+            MultiSharedNdUnit(
+                f"{name}.bit{k}",
+                target.n_inputs,
+                sequence[k].decomposition,
+                self.library,
+                n_shared_max=n_shared_max,
+            )
+            for k in range(target.n_outputs)
+        ]
+
+    def census(self) -> Dict[str, int]:
+        return merge_census(unit.census() for unit in self.units)
+
+    def critical_path_ps(self) -> float:
+        return max(unit.critical_path_ps() for unit in self.units)
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        words = np.asarray(words, dtype=np.int64)
+        output = np.zeros(len(words), dtype=np.int64)
+        for k, unit in enumerate(self.units):
+            output |= unit.simulate(words, ledger).astype(np.int64) << k
+        return output
+
+    def approx_table(self) -> np.ndarray:
+        return self.sequence.approx_function(self.target).table
+
+    def mode_counts(self) -> Dict[str, int]:
+        return self.sequence.mode_counts()
+
+
+class _MonolithicDesign(Design):
+    """A single multi-bit LUT RAM with an address-slicing front end."""
+
+    def __init__(self, name, target, n_addr, width, contents, library=None) -> None:
+        super().__init__(name, target, library)
+        self.ram = LutRam(f"{name}.ram", n_addr, width, contents, self.library)
+
+    def census(self) -> Dict[str, int]:
+        return self.ram.census()
+
+    def critical_path_ps(self) -> float:
+        return self.ram.critical_path_ps()
+
+    def _address(self, words: np.ndarray) -> np.ndarray:
+        return words
+
+    def _reconstruct(self, stored: np.ndarray) -> np.ndarray:
+        return stored
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        words = np.asarray(words, dtype=np.int64)
+        stored = self.ram.simulate(self._address(words), ledger)
+        return self._reconstruct(stored)
+
+    def approx_table(self) -> np.ndarray:
+        stored = self.ram.read(self._address(np.arange(self.target.size)))
+        return self._reconstruct(stored)
+
+
+class ExactLutDesign(_MonolithicDesign):
+    """The conventional full ``2**n × m`` lookup table."""
+
+    def __init__(self, target: BooleanFunction, library=None) -> None:
+        super().__init__(
+            f"{target.name}-exact",
+            target,
+            target.n_inputs,
+            target.n_outputs,
+            target.table,
+            library,
+        )
+
+
+class RoundOutDesign(_MonolithicDesign):
+    """RoundOut baseline: drop the ``q`` output LSBs, keep the rest.
+
+    Stores the ``m − q`` MSBs of every entry in a full-depth table; the
+    dropped LSBs read back as zeros.
+    """
+
+    def __init__(self, target: BooleanFunction, q: int, library=None) -> None:
+        if not 1 <= q < target.n_outputs:
+            raise ValueError(
+                f"q must be in [1, {target.n_outputs - 1}], got {q}"
+            )
+        self.q = q
+        super().__init__(
+            f"{target.name}-roundout{q}",
+            target,
+            target.n_inputs,
+            target.n_outputs - q,
+            target.table >> q,
+            library,
+        )
+
+    def _reconstruct(self, stored: np.ndarray) -> np.ndarray:
+        return stored << self.q
+
+
+class RoundInDesign(_MonolithicDesign):
+    """RoundIn baseline: drop ``w`` input LSBs, store per-block medians.
+
+    Inputs are grouped into blocks of ``2**w`` adjacent words; each
+    block stores the median of its exact outputs (the paper's §V-B
+    construction) in a ``2**(n−w)``-entry table.
+    """
+
+    def __init__(self, target: BooleanFunction, w: int, library=None) -> None:
+        if not 1 <= w < target.n_inputs:
+            raise ValueError(f"w must be in [1, {target.n_inputs - 1}], got {w}")
+        self.w = w
+        blocks = target.table.reshape(-1, 1 << w)
+        medians = np.sort(blocks, axis=1)[:, (1 << w) // 2]
+        super().__init__(
+            f"{target.name}-roundin{w}",
+            target,
+            target.n_inputs - w,
+            target.n_outputs,
+            medians,
+            library,
+        )
+
+    def _address(self, words: np.ndarray) -> np.ndarray:
+        return words >> self.w
+
+
+def build_architecture(
+    architecture: str,
+    target: BooleanFunction,
+    sequence: SettingSequence,
+    library: Optional[CellLibrary] = None,
+) -> Design:
+    """Instantiate the named architecture for a compiled sequence."""
+    classes = {
+        "dalta": DaltaDesign,
+        "bto-normal": BtoNormalDesign,
+        "bto-normal-nd": BtoNormalNdDesign,
+    }
+    try:
+        design_class = classes[architecture]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; choose from {sorted(classes)}"
+        ) from None
+    return design_class(f"{target.name}-{architecture}", target, sequence, library)

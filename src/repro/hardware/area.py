@@ -1,0 +1,44 @@
+"""Area rollup (the DC "report_area" substitute)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["AreaReport", "area_report"]
+
+
+@dataclass
+class AreaReport:
+    """Cell-census area breakdown of one design."""
+
+    design_name: str
+    total_um2: float
+    by_cell: Dict[str, float]
+    census: Dict[str, int]
+
+    def fraction(self, cell: str) -> float:
+        """Share of total area contributed by one cell type."""
+        if self.total_um2 <= 0:
+            return 0.0
+        return self.by_cell.get(cell, 0.0) / self.total_um2
+
+    def render(self) -> str:
+        lines = [f"area of {self.design_name}: {self.total_um2:.1f} um^2"]
+        for cell in sorted(self.by_cell, key=self.by_cell.get, reverse=True):
+            lines.append(
+                f"  {cell:<12} x{self.census[cell]:>8}  "
+                f"{self.by_cell[cell]:>12.1f} um^2  "
+                f"({100 * self.fraction(cell):.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+def area_report(design) -> AreaReport:
+    """Break a design's area down by cell type."""
+    census = design.census()
+    by_cell = {
+        cell: design.library[cell].area_um2 * count
+        for cell, count in census.items()
+    }
+    return AreaReport(design.name, sum(by_cell.values()), by_cell, census)

@@ -1,0 +1,100 @@
+"""Standard-cell library model.
+
+The paper synthesises its architectures with Synopsys DC on the
+Nangate 45 nm open cell library and measures power with PrimeTime.
+We substitute a compact cell model: each cell contributes
+
+* ``area_um2`` — placement area,
+* ``leakage_nw`` — static power,
+* ``energy_fj`` — dynamic energy per output toggle (internal +
+  switching, lumped),
+* ``delay_ps`` — pin-to-pin propagation delay used by the static
+  timing engine.
+
+The bundled :data:`NANGATE45` numbers are representative of the
+Nangate 45 nm typical corner.  Absolute values are not calibrated
+against the authors' testbed — the experiments only use *ratios*
+between architectures, which are driven by cell counts and activity,
+not by the absolute fJ/µm² scale (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+__all__ = ["Cell", "CellLibrary", "NANGATE45"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell's physical characteristics."""
+
+    name: str
+    area_um2: float
+    leakage_nw: float
+    energy_fj: float
+    delay_ps: float
+
+    def __post_init__(self) -> None:
+        for attribute in ("area_um2", "leakage_nw", "energy_fj", "delay_ps"):
+            if getattr(self, attribute) < 0:
+                raise ValueError(f"{attribute} of {self.name} must be non-negative")
+
+
+class CellLibrary:
+    """A named collection of cells with census-based rollups.
+
+    A *census* is a mapping ``cell name -> instance count``; a *toggle
+    ledger* maps ``cell name -> total output toggles`` observed during
+    a simulated workload.
+    """
+
+    def __init__(self, name: str, cells: Mapping[str, Cell]) -> None:
+        self.name = name
+        self.cells: Dict[str, Cell] = dict(cells)
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r}; "
+                f"available: {sorted(self.cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def area_um2(self, census: Mapping[str, int]) -> float:
+        """Total placement area of a census."""
+        return sum(self[c].area_um2 * n for c, n in census.items())
+
+    def leakage_nw(self, census: Mapping[str, int]) -> float:
+        """Total static power of a census."""
+        return sum(self[c].leakage_nw * n for c, n in census.items())
+
+    def dynamic_energy_fj(self, toggles: Mapping[str, float]) -> float:
+        """Energy of a toggle ledger."""
+        return sum(self[c].energy_fj * n for c, n in toggles.items())
+
+    def delay_ps(self, cell: str, stages: int = 1) -> float:
+        """Delay of ``stages`` series instances of ``cell``."""
+        return self[cell].delay_ps * stages
+
+
+#: Nangate-45nm-like typical-corner cells.
+NANGATE45 = CellLibrary(
+    "nangate45-like",
+    {
+        "INV_X1": Cell("INV_X1", 0.532, 12.0, 0.30, 11.0),
+        "BUF_X2": Cell("BUF_X2", 0.798, 22.0, 0.55, 26.0),
+        "NAND2_X1": Cell("NAND2_X1", 0.798, 18.0, 0.38, 14.0),
+        "AND2_X1": Cell("AND2_X1", 1.064, 24.0, 0.52, 28.0),
+        "OR2_X1": Cell("OR2_X1", 1.064, 24.0, 0.52, 29.0),
+        "XOR2_X1": Cell("XOR2_X1", 1.596, 42.0, 0.95, 42.0),
+        "MUX2_X1": Cell("MUX2_X1", 1.862, 33.0, 0.80, 36.0),
+        "DFF_X1": Cell("DFF_X1", 4.522, 92.0, 1.80, 93.0),
+        "CLKGATE_X1": Cell("CLKGATE_X1", 2.926, 46.0, 0.60, 38.0),
+    },
+)

@@ -1,0 +1,91 @@
+"""Structural design export (JSON).
+
+Dumps a design's block structure — per-unit blocks, cell censuses,
+physical rollups, and configuration metadata — as plain data for
+external tooling (floorplanning scripts, cost models, documentation
+generators).  The export is purely structural: LUT contents ship via
+:func:`repro.hardware.verilog.emit_memory_images`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .architectures import Design, _MonolithicDesign
+
+__all__ = ["design_to_dict", "export_design"]
+
+_FORMAT = "repro-design"
+_VERSION = 1
+
+
+def _block_entry(block) -> Dict:
+    return {
+        "name": block.name,
+        "type": type(block).__name__,
+        "census": block.census(),
+        "area_um2": block.area_um2(),
+        "leakage_nw": block.leakage_nw(),
+        "delay_ps": block.critical_path_ps(),
+    }
+
+
+def _unit_blocks(unit) -> List:
+    """Every block a unit owns, discovered from its attributes."""
+    blocks = [unit.routing, unit.bound_ram]
+    for attribute in ("free_ram", "free0", "free1", "gate", "gate0", "gate1",
+                      "out_mux", "xs_mux", "select_muxes"):
+        block = getattr(unit, attribute, None)
+        if block is not None:
+            blocks.append(block)
+    for collection in ("free_rams", "gates"):
+        blocks.extend(getattr(unit, collection, []))
+    return blocks
+
+
+def design_to_dict(design: Design) -> Dict:
+    """Serialise a design's structure to plain data."""
+    payload: Dict = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": design.name,
+        "n_inputs": design.n_inputs,
+        "n_outputs": design.n_outputs,
+        "library": design.library.name,
+        "census": design.census(),
+        "area_um2": design.area_um2(),
+        "leakage_nw": design.leakage_nw(),
+        "critical_path_ps": design.critical_path_ps(),
+        "storage_bits": design.storage_bits(),
+        "modes": design.mode_counts(),
+    }
+    units = getattr(design, "units", None)
+    if units is not None:
+        payload["units"] = [
+            {
+                "name": unit.name,
+                "mode": unit.mode,
+                "partition": {
+                    "free": list(unit.partition.free),
+                    "bound": list(unit.partition.bound),
+                },
+                "blocks": [_block_entry(block) for block in _unit_blocks(unit)],
+            }
+            for unit in units
+        ]
+    elif isinstance(design, _MonolithicDesign):
+        payload["units"] = [
+            {
+                "name": design.ram.name,
+                "mode": "monolithic",
+                "blocks": [_block_entry(design.ram)],
+            }
+        ]
+    return payload
+
+
+def export_design(design: Design, path: str) -> None:
+    """Write the structural export to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(design_to_dict(design), handle, indent=2)

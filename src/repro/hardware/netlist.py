@@ -1,0 +1,169 @@
+"""Structural netlist primitives: blocks, censuses, toggle ledgers.
+
+A *block* is a structural unit (LUT RAM, routing box, output mux...)
+that knows three things about itself:
+
+1. its cell census (for area and leakage),
+2. its pin-to-pin critical path (for timing), and
+3. how many cell-output toggles a given read workload causes in it
+   (for dynamic power).
+
+Designs in :mod:`repro.hardware.architectures` are trees of blocks;
+the area/timing/power engines walk those trees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from .cells import CellLibrary, NANGATE45
+
+__all__ = [
+    "ToggleLedger",
+    "Block",
+    "Mux2Block",
+    "ClockGateBlock",
+    "merge_census",
+    "popcount64",
+    "toggles_between",
+]
+
+_BYTE_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.int64)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of an int64/uint64 array (numpy-agnostic)."""
+    words = np.ascontiguousarray(words, dtype=np.int64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).astype(np.int64)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1)
+
+
+def toggles_between(values: np.ndarray) -> int:
+    """Total bit toggles along a sequence of packed words.
+
+    ``values`` has shape ``(reads,)`` or ``(nodes, reads)``; toggles
+    are counted between consecutive reads on every bit of every node.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim == 1:
+        values = values[None, :]
+    if values.shape[-1] < 2:
+        return 0
+    flips = values[..., 1:] ^ values[..., :-1]
+    return int(popcount64(flips).sum())
+
+
+class ToggleLedger:
+    """Accumulates output-toggle counts per cell type."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def add(self, cell: str, toggles: float) -> None:
+        if toggles < 0:
+            raise ValueError(f"negative toggle count for {cell}")
+        self.counts[cell] += toggles
+
+    def merge(self, other: "ToggleLedger") -> None:
+        self.counts.update(other.counts)
+
+    def total(self) -> float:
+        return float(sum(self.counts.values()))
+
+    def energy_fj(self, library: CellLibrary) -> float:
+        return library.dynamic_energy_fj(self.counts)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.counts)
+
+
+def merge_census(censuses: Iterable[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum several cell censuses."""
+    merged: Counter = Counter()
+    for census in censuses:
+        merged.update(census)
+    return dict(merged)
+
+
+class Block:
+    """Base class of structural blocks."""
+
+    def __init__(self, name: str, library: Optional[CellLibrary] = None) -> None:
+        self.name = name
+        self.library = library or NANGATE45
+
+    # -- static views ---------------------------------------------------
+    def census(self) -> Dict[str, int]:
+        """Cell census of this block."""
+        raise NotImplementedError
+
+    def critical_path_ps(self) -> float:
+        """Input-to-output propagation delay of this block."""
+        raise NotImplementedError
+
+    def area_um2(self) -> float:
+        return self.library.area_um2(self.census())
+
+    def leakage_nw(self) -> float:
+        return self.library.leakage_nw(self.census())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Mux2Block(Block):
+    """A bank of 2:1 multiplexers (one per data bit)."""
+
+    def __init__(self, name: str, width: int = 1, library=None) -> None:
+        super().__init__(name, library)
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+
+    def census(self) -> Dict[str, int]:
+        return {"MUX2_X1": self.width}
+
+    def critical_path_ps(self) -> float:
+        return self.library.delay_ps("MUX2_X1")
+
+    def simulate(
+        self,
+        select: np.ndarray,
+        value0: np.ndarray,
+        value1: np.ndarray,
+        ledger: ToggleLedger,
+    ) -> np.ndarray:
+        """Select per read; toggles counted on the mux outputs."""
+        select = np.asarray(select).astype(bool)
+        out = np.where(select, value1, value0)
+        ledger.add("MUX2_X1", toggles_between(out.astype(np.int64)))
+        return out
+
+
+class ClockGateBlock(Block):
+    """An integrated clock-gating cell controlling one block's clock.
+
+    When the enable is static (our reconfigurable modes are configured
+    once), the gate's own dynamic contribution is the gated clock pin:
+    one toggle pair per cycle while enabled, none while gated.
+    """
+
+    def __init__(self, name: str, library=None) -> None:
+        super().__init__(name, library)
+
+    def census(self) -> Dict[str, int]:
+        return {"CLKGATE_X1": 1}
+
+    def critical_path_ps(self) -> float:
+        return self.library.delay_ps("CLKGATE_X1")
+
+    def simulate(self, cycles: int, enabled: bool, ledger: ToggleLedger) -> None:
+        if enabled:
+            ledger.add("CLKGATE_X1", float(cycles))

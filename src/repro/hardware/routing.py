@@ -1,0 +1,71 @@
+"""Routing box: the statically-configured input shuffle network.
+
+Each approximate single-output LUT starts with a routing box that
+permutes the primary inputs ``X`` into ``X'`` so that the bound-set
+bits land on the bound-table address pins (Fig. 1(b)).  We model it as
+a full crossbar: one ``n:1`` mux per output pin, each built from
+``n − 1`` MUX2 cells arranged ``ceil(log2 n)`` levels deep.
+
+The select lines are static configuration, so dynamic activity is data
+movement only: an input bit toggle propagates along the mux path of
+every output pin it is routed to — ``ceil(log2 n)`` MUX2 output
+toggles per routed bit flip.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..boolean import ops
+from .netlist import Block, ToggleLedger, toggles_between
+
+__all__ = ["RoutingBox"]
+
+
+class RoutingBox(Block):
+    """An ``n × n`` crossbar with a static permutation configuration.
+
+    ``permutation[i]`` names the primary-input bit driven onto output
+    pin ``i``.
+    """
+
+    def __init__(
+        self, name: str, n_inputs: int, permutation: Sequence[int], library=None
+    ) -> None:
+        super().__init__(name, library)
+        if n_inputs < 2:
+            raise ValueError("routing box needs at least 2 inputs")
+        permutation = ops.validate_positions(permutation, n_inputs)
+        if len(permutation) != n_inputs:
+            raise ValueError(
+                f"permutation covers {len(permutation)} pins, expected {n_inputs}"
+            )
+        self.n_inputs = n_inputs
+        self.permutation = permutation
+
+    # ------------------------------------------------------------------
+    @property
+    def mux_depth(self) -> int:
+        return math.ceil(math.log2(self.n_inputs))
+
+    def census(self) -> Dict[str, int]:
+        return {"MUX2_X1": self.n_inputs * (self.n_inputs - 1)}
+
+    def critical_path_ps(self) -> float:
+        return self.library.delay_ps("MUX2_X1", stages=self.mux_depth)
+
+    # ------------------------------------------------------------------
+    def route(self, words: np.ndarray) -> np.ndarray:
+        """Apply the permutation: output bit i = input bit permutation[i]."""
+        return ops.extract_bits(np.asarray(words, dtype=np.int64), self.permutation)
+
+    def simulate(self, words: np.ndarray, ledger: ToggleLedger) -> np.ndarray:
+        """Route a read sequence, charging path toggles to ``ledger``."""
+        words = np.asarray(words, dtype=np.int64)
+        routed = self.route(words)
+        # Every routed bit flip ripples through the output pin's mux path.
+        ledger.add("MUX2_X1", float(toggles_between(routed) * self.mux_depth))
+        return routed

@@ -1,0 +1,52 @@
+"""Static timing rollup (the DC "report_timing" substitute).
+
+Every block reports its own pin-to-pin delay; a design's critical path
+is the longest unit path.  This module adds the per-unit breakdown
+report used by the experiments and docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["TimingReport", "timing_report"]
+
+
+@dataclass
+class TimingReport:
+    """Critical-path summary of one design."""
+
+    design_name: str
+    critical_path_ps: float
+    unit_paths: List[Tuple[str, float]]
+
+    @property
+    def critical_unit(self) -> str:
+        if not self.unit_paths:
+            return self.design_name
+        return max(self.unit_paths, key=lambda item: item[1])[0]
+
+    def meets(self, clock_period_ns: float) -> bool:
+        """True when the critical path fits the clock period."""
+        return self.critical_path_ps <= clock_period_ns * 1000.0
+
+    def render(self) -> str:
+        lines = [
+            f"timing of {self.design_name}: "
+            f"critical path {self.critical_path_ps:.0f} ps "
+            f"(unit {self.critical_unit})"
+        ]
+        for name, delay in self.unit_paths:
+            lines.append(f"  {name}: {delay:.0f} ps")
+        return "\n".join(lines)
+
+
+def timing_report(design) -> TimingReport:
+    """Per-unit path breakdown of a design."""
+    units = getattr(design, "units", None)
+    if units:
+        paths = [(unit.name, unit.critical_path_ps()) for unit in units]
+    else:
+        paths = [(design.name, design.critical_path_ps())]
+    return TimingReport(design.name, design.critical_path_ps(), paths)

@@ -1,0 +1,287 @@
+"""Verilog RTL emitter.
+
+Generates synthesizable Verilog for the compiled designs so a
+downstream user can push them through a real flow (the paper's
+DC + VCS + PrimeTime loop).  The emitted design mirrors the structural
+model exactly:
+
+* one generic ``alut_ram`` module (DFF array + registered read port,
+  ``$readmemb`` initialisation),
+* per-output-bit instances wired through the routing-box permutation
+  (static, so it becomes plain bit-select wiring in RTL),
+* mode multiplexers and clock-gate enables for the reconfigurable
+  architectures.
+
+:func:`emit_memory_images` produces the matching ``$readmemb`` files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..boolean.synthesis import lut_image_bits
+from .architectures import (
+    BtoNormalDesign,
+    BtoNormalNdDesign,
+    DaltaDesign,
+    MultiSharedNdDesign,
+    _DecomposedDesign,
+    _MonolithicDesign,
+)
+
+__all__ = ["emit_design", "emit_memory_images", "emit_testbench", "sanitize_identifier"]
+
+_RAM_MODULE = """\
+module alut_ram #(
+    parameter AW = 4,
+    parameter DW = 1,
+    parameter INIT = ""
+) (
+    input  wire            clk,
+    input  wire            en,
+    input  wire [AW-1:0]   addr,
+    output reg  [DW-1:0]   data
+);
+    reg [DW-1:0] mem [0:(1<<AW)-1];
+    initial begin
+        if (INIT != "") $readmemb(INIT, mem);
+    end
+    always @(posedge clk) begin
+        if (en) data <= mem[addr];
+    end
+endmodule
+"""
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn an arbitrary design name into a legal Verilog identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "m_" + cleaned
+    return cleaned
+
+
+def _mem_name(module: str, instance: str) -> str:
+    return f"{module}_{sanitize_identifier(instance)}.mem"
+
+
+def _concat_bits(signal: str, positions) -> str:
+    """Verilog concatenation selecting the given bit positions (MSB first)."""
+    return "{" + ", ".join(f"{signal}[{p}]" for p in reversed(list(positions))) + "}"
+
+
+def _emit_unit(lines: List[str], module: str, k: int, unit) -> None:
+    """Emit the wiring of one output bit's unit into ``lines``."""
+    part = unit.partition
+    b = part.n_bound
+    mode = unit.mode
+    lines.append(f"    // ---- output bit {k} (mode: {mode}) ----")
+    lines.append(
+        f"    wire [{b - 1}:0] baddr_{k} = {_concat_bits('x', part.bound)};"
+    )
+    lines.append(
+        f"    wire [{part.n_free - 1}:0] row_{k} = "
+        f"{_concat_bits('x', part.free)};"
+    )
+    lines.append(f"    wire phi_{k};")
+    bound_mem = _mem_name(module, f"bit{k}_bound")
+    lines.append(
+        f"    alut_ram #(.AW({b}), .DW(1), .INIT(\"{bound_mem}\")) "
+        f"u_bound_{k} (.clk(clk), .en(1'b1), .addr(baddr_{k}), .data(phi_{k}));"
+    )
+    faw = part.n_free + 1
+    lines.append(
+        f"    wire [{faw - 1}:0] faddr_{k} = {{row_{k}, phi_{k}}};"
+    )
+
+    if hasattr(unit, "free_rams"):  # multi-shared extension unit
+        n_tables = len(unit.free_rams)
+        for idx in range(n_tables):
+            en = "1'b1" if idx < unit.active_tables else "1'b0"
+            mem = _mem_name(module, f"bit{k}_free{idx}")
+            lines.append(f"    wire f{idx}_{k};")
+            lines.append(
+                f"    alut_ram #(.AW({faw}), .DW(1), .INIT(\"{mem}\")) "
+                f"u_free{idx}_{k} (.clk(clk), .en({en}), .addr(faddr_{k}), "
+                f".data(f{idx}_{k}));"
+            )
+        if unit.select_positions:
+            level = [f"f{idx}_{k}" for idx in range(1 << len(unit.select_positions))]
+            for depth, pos in enumerate(unit.select_positions):
+                next_level = []
+                for i in range(len(level) // 2):
+                    wire = f"sel{depth}_{i}_{k}"
+                    lines.append(
+                        f"    wire {wire} = baddr_{k}[{pos}] ? "
+                        f"{level[2 * i + 1]} : {level[2 * i]};"
+                    )
+                    next_level.append(wire)
+                level = next_level
+            selected = level[0]
+        else:
+            selected = f"f0_{k}"
+        use_free = "1'b1" if mode != "bto" else "1'b0"
+        lines.append(f"    assign y[{k}] = {use_free} ? {selected} : phi_{k};")
+    elif hasattr(unit, "free0"):  # BTO-Normal-ND unit
+        en0 = "1'b1" if mode in ("normal", "nd") else "1'b0"
+        en1 = "1'b1" if mode == "nd" else "1'b0"
+        for idx, en in ((0, en0), (1, en1)):
+            mem = _mem_name(module, f"bit{k}_free{idx}")
+            lines.append(f"    wire f{idx}_{k};")
+            lines.append(
+                f"    alut_ram #(.AW({faw}), .DW(1), .INIT(\"{mem}\")) "
+                f"u_free{idx}_{k} (.clk(clk), .en({en}), .addr(faddr_{k}), "
+                f".data(f{idx}_{k}));"
+            )
+        if unit.shared_pos is not None:
+            xs = f"baddr_{k}[{unit.shared_pos}]"
+        else:
+            xs = "1'b0"
+        lines.append(f"    wire fsel_{k} = {xs} ? f1_{k} : f0_{k};")
+        use_free = "1'b1" if mode != "bto" else "1'b0"
+        lines.append(f"    assign y[{k}] = {use_free} ? fsel_{k} : phi_{k};")
+    elif hasattr(unit, "out_mux"):  # BTO-Normal unit
+        en = "1'b1" if mode == "normal" else "1'b0"
+        mem = _mem_name(module, f"bit{k}_free")
+        lines.append(f"    wire f_{k};")
+        lines.append(
+            f"    alut_ram #(.AW({faw}), .DW(1), .INIT(\"{mem}\")) "
+            f"u_free_{k} (.clk(clk), .en({en}), .addr(faddr_{k}), .data(f_{k}));"
+        )
+        lines.append(f"    assign y[{k}] = {en} ? f_{k} : phi_{k};")
+    else:  # DALTA unit
+        mem = _mem_name(module, f"bit{k}_free")
+        lines.append(f"    wire f_{k};")
+        lines.append(
+            f"    alut_ram #(.AW({faw}), .DW(1), .INIT(\"{mem}\")) "
+            f"u_free_{k} (.clk(clk), .en(1'b1), .addr(faddr_{k}), .data(f_{k}));"
+        )
+        lines.append(f"    assign y[{k}] = f_{k};")
+    lines.append("")
+
+
+def emit_design(design, module_name: Optional[str] = None) -> str:
+    """Emit the complete RTL of a design (top module + RAM module)."""
+    module = sanitize_identifier(module_name or design.name)
+    n, m = design.n_inputs, design.n_outputs
+    lines: List[str] = [
+        f"// Generated by repro.hardware.verilog for design '{design.name}'",
+        f"// {n}-input, {m}-output approximate lookup table",
+        "",
+        f"module {module} (",
+        "    input  wire              clk,",
+        f"    input  wire [{n - 1}:0]  x,",
+        f"    output wire [{m - 1}:0]  y",
+        ");",
+    ]
+    if isinstance(design, (_DecomposedDesign, MultiSharedNdDesign)):
+        lines.append("")
+        for k, unit in enumerate(design.units):
+            _emit_unit(lines, module, k, unit)
+    elif isinstance(design, _MonolithicDesign):
+        ram = design.ram
+        mem = _mem_name(module, "ram")
+        if hasattr(design, "w"):  # RoundIn slices the address
+            address = f"x[{n - 1}:{design.w}]"
+        else:
+            address = "x"
+        lines.append(f"    wire [{ram.width - 1}:0] stored;")
+        lines.append(
+            f"    alut_ram #(.AW({ram.n_addr}), .DW({ram.width}), "
+            f".INIT(\"{mem}\")) u_ram (.clk(clk), .en(1'b1), "
+            f".addr({address}), .data(stored));"
+        )
+        if hasattr(design, "q"):  # RoundOut pads the dropped LSBs
+            lines.append(f"    assign y = {{stored, {design.q}'b0}};")
+        else:
+            lines.append("    assign y = stored;")
+    else:
+        raise TypeError(f"cannot emit Verilog for {type(design).__name__}")
+    lines.append("endmodule")
+    lines.append("")
+    lines.append(_RAM_MODULE)
+    return "\n".join(lines)
+
+
+def emit_memory_images(design, module_name: Optional[str] = None) -> Dict[str, str]:
+    """The ``$readmemb`` files referenced by :func:`emit_design`."""
+    module = sanitize_identifier(module_name or design.name)
+    images: Dict[str, str] = {}
+    if isinstance(design, (_DecomposedDesign, MultiSharedNdDesign)):
+        for k, unit in enumerate(design.units):
+            images[_mem_name(module, f"bit{k}_bound")] = lut_image_bits(
+                unit.bound_ram.contents
+            )
+            if hasattr(unit, "free_rams"):
+                for idx, ram in enumerate(unit.free_rams):
+                    images[_mem_name(module, f"bit{k}_free{idx}")] = lut_image_bits(
+                        ram.contents
+                    )
+            elif hasattr(unit, "free0"):
+                images[_mem_name(module, f"bit{k}_free0")] = lut_image_bits(
+                    unit.free0.contents
+                )
+                images[_mem_name(module, f"bit{k}_free1")] = lut_image_bits(
+                    unit.free1.contents
+                )
+            else:
+                images[_mem_name(module, f"bit{k}_free")] = lut_image_bits(
+                    unit.free_ram.contents
+                )
+    elif isinstance(design, _MonolithicDesign):
+        ram = design.ram
+        rows = [
+            format(int(word), f"0{ram.width}b") for word in ram.contents
+        ]
+        images[_mem_name(module, "ram")] = "\n".join(rows)
+    else:
+        raise TypeError(f"cannot emit memories for {type(design).__name__}")
+    return images
+
+
+def emit_testbench(design, module_name: Optional[str] = None, n_vectors: int = 64) -> str:
+    """A self-checking testbench applying the reference truth table."""
+    module = sanitize_identifier(module_name or design.name)
+    n, m = design.n_inputs, design.n_outputs
+    table = design.approx_table()
+    step = max(1, design.target.size // n_vectors)
+    checks = []
+    for x in range(0, design.target.size, step):
+        checks.append(
+            f"        apply({n}'d{x}, {m}'d{int(table[x])});"
+        )
+    body = "\n".join(checks)
+    return f"""\
+// Self-checking testbench for {module}
+`timescale 1ns/1ps
+module {module}_tb;
+    reg clk = 0;
+    reg [{n - 1}:0] x;
+    wire [{m - 1}:0] y;
+    integer errors = 0;
+
+    {module} dut (.clk(clk), .x(x), .y(y));
+    always #1 clk = ~clk;
+
+    task apply(input [{n - 1}:0] vec, input [{m - 1}:0] expect);
+        begin
+            x = vec;
+            @(posedge clk); @(posedge clk); #0.1;
+            if (y !== expect) begin
+                errors = errors + 1;
+                $display("MISMATCH x=%0d y=%0d expected=%0d", vec, y, expect);
+            end
+        end
+    endtask
+
+    initial begin
+{body}
+        if (errors == 0) $display("PASS");
+        else $display("FAIL: %0d errors", errors);
+        $finish;
+    end
+endmodule
+"""

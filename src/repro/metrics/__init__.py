@@ -1,0 +1,30 @@
+"""Error metrics and input-distribution utilities."""
+
+from .error import (
+    ErrorReport,
+    error_distance,
+    error_rate,
+    med,
+    mred,
+    mse,
+    normalized_med,
+    worst_case_error,
+)
+from .quality import max_abs_error, psnr_db, quality_summary, snr_db
+from . import distributions
+
+__all__ = [
+    "ErrorReport",
+    "error_distance",
+    "error_rate",
+    "med",
+    "mred",
+    "mse",
+    "normalized_med",
+    "worst_case_error",
+    "max_abs_error",
+    "psnr_db",
+    "quality_summary",
+    "snr_db",
+    "distributions",
+]

@@ -1,0 +1,152 @@
+"""Approximation error metrics.
+
+The paper optimises and reports the *mean error distance* (MED):
+
+.. math::
+
+    MED(G, \\hat G) = \\sum_X p_X \\; |Bin(G(X)) - Bin(\\hat G(X))|
+
+The other standard approximate-computing metrics (error rate, mean
+relative error distance, worst-case error, mean squared error) are
+provided for analysis and for the extended experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..boolean.function import BooleanFunction
+
+__all__ = [
+    "med",
+    "error_rate",
+    "mred",
+    "worst_case_error",
+    "mse",
+    "normalized_med",
+    "error_distance",
+    "ErrorReport",
+]
+
+TableLike = Union[BooleanFunction, np.ndarray]
+
+
+def _as_table(function: TableLike) -> np.ndarray:
+    if isinstance(function, BooleanFunction):
+        return function.table
+    return np.asarray(function, dtype=np.int64)
+
+
+def _resolve(
+    exact: TableLike, approx: TableLike, p: Optional[np.ndarray]
+) -> tuple:
+    g = _as_table(exact)
+    g_hat = _as_table(approx)
+    if g.shape != g_hat.shape:
+        raise ValueError(
+            f"exact and approximate tables differ in shape: {g.shape} vs {g_hat.shape}"
+        )
+    if p is None:
+        p = np.full(g.shape, 1.0 / g.size, dtype=np.float64)
+    else:
+        p = np.asarray(p, dtype=np.float64)
+        if p.shape != g.shape:
+            raise ValueError(f"distribution shape {p.shape} != table shape {g.shape}")
+    return g, g_hat, p
+
+
+def error_distance(exact: TableLike, approx: TableLike) -> np.ndarray:
+    """Per-input absolute error ``|Bin(G(X)) - Bin(Ĝ(X))|``."""
+    g, g_hat, _ = _resolve(exact, approx, None)
+    return np.abs(g - g_hat)
+
+
+def med(exact: TableLike, approx: TableLike, p: Optional[np.ndarray] = None) -> float:
+    """Mean error distance — the paper's objective function."""
+    g, g_hat, p = _resolve(exact, approx, p)
+    return float(np.abs(g - g_hat) @ p)
+
+
+def error_rate(
+    exact: TableLike, approx: TableLike, p: Optional[np.ndarray] = None
+) -> float:
+    """Probability that the approximate output differs at all."""
+    g, g_hat, p = _resolve(exact, approx, p)
+    return float((g != g_hat) @ p)
+
+
+def mred(
+    exact: TableLike, approx: TableLike, p: Optional[np.ndarray] = None
+) -> float:
+    """Mean relative error distance.
+
+    Inputs whose exact output is zero contribute their absolute error
+    (the common convention that avoids division by zero).
+    """
+    g, g_hat, p = _resolve(exact, approx, p)
+    diff = np.abs(g - g_hat).astype(np.float64)
+    denom = np.where(g == 0, 1, np.abs(g)).astype(np.float64)
+    return float((diff / denom) @ p)
+
+
+def worst_case_error(exact: TableLike, approx: TableLike) -> int:
+    """Maximum error distance over all inputs."""
+    g, g_hat, _ = _resolve(exact, approx, None)
+    return int(np.abs(g - g_hat).max(initial=0))
+
+
+def mse(exact: TableLike, approx: TableLike, p: Optional[np.ndarray] = None) -> float:
+    """Mean squared error distance."""
+    g, g_hat, p = _resolve(exact, approx, p)
+    diff = (g - g_hat).astype(np.float64)
+    return float((diff * diff) @ p)
+
+
+def normalized_med(
+    exact: TableLike,
+    approx: TableLike,
+    n_outputs: int,
+    p: Optional[np.ndarray] = None,
+) -> float:
+    """MED as a fraction of the full output range ``2**m - 1``."""
+    return med(exact, approx, p) / float((1 << n_outputs) - 1)
+
+
+class ErrorReport:
+    """All metrics for one (exact, approximate) pair, computed once."""
+
+    def __init__(
+        self,
+        exact: TableLike,
+        approx: TableLike,
+        n_outputs: int,
+        p: Optional[np.ndarray] = None,
+    ) -> None:
+        g, g_hat, p = _resolve(exact, approx, p)
+        diff = np.abs(g - g_hat)
+        self.med = float(diff @ p)
+        self.error_rate = float((diff > 0) @ p)
+        denom = np.where(g == 0, 1, np.abs(g)).astype(np.float64)
+        self.mred = float((diff / denom) @ p)
+        self.worst_case = int(diff.max(initial=0))
+        self.mse = float((diff.astype(np.float64) ** 2) @ p)
+        self.normalized_med = self.med / float((1 << n_outputs) - 1)
+        self.n_outputs = n_outputs
+
+    def as_dict(self) -> dict:
+        return {
+            "med": self.med,
+            "error_rate": self.error_rate,
+            "mred": self.mred,
+            "worst_case": self.worst_case,
+            "mse": self.mse,
+            "normalized_med": self.normalized_med,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorReport(med={self.med:.4g}, er={self.error_rate:.4g}, "
+            f"mred={self.mred:.4g}, wce={self.worst_case})"
+        )

@@ -1,0 +1,74 @@
+"""Application-level quality metrics.
+
+The paper's premise is that error-tolerant applications absorb LUT
+approximation with negligible *application-level* quality loss.  These
+helpers quantify that on real-valued application outputs (filtered
+signals, network activations, reconstructed images).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["psnr_db", "snr_db", "max_abs_error", "quality_summary"]
+
+
+def _pair(reference, estimate):
+    reference = np.asarray(reference, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if reference.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {estimate.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("empty signals")
+    return reference, estimate
+
+
+def psnr_db(reference, estimate, peak: Optional[float] = None) -> float:
+    """Peak signal-to-noise ratio in dB.
+
+    ``peak`` defaults to the reference's dynamic range (max − min);
+    identical signals return ``inf``.
+    """
+    reference, estimate = _pair(reference, estimate)
+    if peak is None:
+        peak = float(reference.max() - reference.min())
+        if peak == 0:
+            peak = max(abs(float(reference.max())), 1.0)
+    mse = float(np.mean((reference - estimate) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * float(np.log10(peak * peak / mse))
+
+
+def snr_db(reference, estimate) -> float:
+    """Signal-to-noise ratio in dB (signal power over error power)."""
+    reference, estimate = _pair(reference, estimate)
+    noise = float(np.mean((reference - estimate) ** 2))
+    signal = float(np.mean(reference**2))
+    if noise == 0:
+        return float("inf")
+    if signal == 0:
+        return float("-inf")
+    return 10.0 * float(np.log10(signal / noise))
+
+
+def max_abs_error(reference, estimate) -> float:
+    """Worst-case absolute deviation."""
+    reference, estimate = _pair(reference, estimate)
+    return float(np.max(np.abs(reference - estimate)))
+
+
+def quality_summary(reference, estimate, peak: Optional[float] = None) -> dict:
+    """All quality metrics in one dict (for reports/JSON)."""
+    return {
+        "psnr_db": psnr_db(reference, estimate, peak),
+        "snr_db": snr_db(reference, estimate),
+        "max_abs_error": max_abs_error(reference, estimate),
+        "rmse": float(
+            np.sqrt(np.mean((np.asarray(reference) - np.asarray(estimate)) ** 2))
+        ),
+    }

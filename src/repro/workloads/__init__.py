@@ -1,0 +1,40 @@
+"""Benchmark workloads: the paper's Table I suite."""
+
+from .axbench import (
+    build_forwardk2j,
+    build_inversek2j,
+    build_multiplier,
+    forward_kinematics,
+    inverse_kinematics,
+)
+from .brent_kung import BrentKungAdder, build_brent_kung
+from .continuous import CONTINUOUS, ContinuousSpec, build_continuous
+from .registry import (
+    BenchmarkSpec,
+    continuous_names,
+    get,
+    names,
+    noncontinuous_names,
+    specs,
+    table1_rows,
+)
+
+__all__ = [
+    "build_forwardk2j",
+    "build_inversek2j",
+    "build_multiplier",
+    "forward_kinematics",
+    "inverse_kinematics",
+    "BrentKungAdder",
+    "build_brent_kung",
+    "CONTINUOUS",
+    "ContinuousSpec",
+    "build_continuous",
+    "BenchmarkSpec",
+    "continuous_names",
+    "get",
+    "names",
+    "noncontinuous_names",
+    "specs",
+    "table1_rows",
+]

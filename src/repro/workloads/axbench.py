@@ -1,0 +1,109 @@
+"""AxBench-style non-continuous benchmarks (Table I).
+
+Per the paper, the non-continuous benchmarks take a 16-bit input
+stitched from two 8-bit operands of the original kernel.  We follow the
+same rule at configurable width ``n``: operand one occupies the low
+``n/2`` bits, operand two the high ``n/2`` bits.
+
+* ``multiplier`` — the exact unsigned ``w × w → 2w`` product.
+* ``forwardk2j`` — forward kinematics of a 2-joint arm: the operands
+  are the two joint angles (each spanning ``[0, π/2]``); the outputs
+  are the end-effector coordinates ``(x, y)``, each quantised to ``w``
+  bits and stitched into a ``2w``-bit word.
+* ``inversek2j`` — inverse kinematics: the operands are target
+  coordinates in the arm's reachable box; outputs are the two joint
+  angles, each quantised to ``w`` bits and stitched.
+
+The kinematics use unit link lengths ``l1 = l2 = 0.5`` so every
+quantity stays in ``[0, 1]`` ranges; unreachable targets saturate at
+the workspace boundary (the standard AxBench behaviour of clamping the
+acos argument).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..boolean import ops
+from ..boolean.function import BooleanFunction
+
+__all__ = [
+    "build_multiplier",
+    "build_forwardk2j",
+    "build_inversek2j",
+    "forward_kinematics",
+    "inverse_kinematics",
+]
+
+_L1 = 0.5
+_L2 = 0.5
+
+
+def _split_operands(n_inputs: int) -> Tuple[np.ndarray, np.ndarray, int]:
+    """All input words split into (low, high) operands of width n/2."""
+    if n_inputs % 2 != 0:
+        raise ValueError(f"n_inputs must be even (two operands), got {n_inputs}")
+    half = n_inputs // 2
+    xs = ops.all_inputs(n_inputs)
+    return xs & ((1 << half) - 1), xs >> half, half
+
+
+def _quantize_unit(values: np.ndarray, width: int) -> np.ndarray:
+    """Quantise values in [0, 1] onto ``width`` bits with clipping."""
+    levels = (1 << width) - 1
+    return np.clip(np.rint(values * levels), 0, levels).astype(np.int64)
+
+
+def build_multiplier(n_inputs: int = 16) -> BooleanFunction:
+    """Unsigned multiplier: two ``n/2``-bit operands, ``n``-bit product."""
+    a, b, half = _split_operands(n_inputs)
+    return BooleanFunction(n_inputs, 2 * half, a * b, name="multiplier")
+
+
+def forward_kinematics(theta1: np.ndarray, theta2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """End-effector position of the 2-joint arm (real-valued)."""
+    x = _L1 * np.cos(theta1) + _L2 * np.cos(theta1 + theta2)
+    y = _L1 * np.sin(theta1) + _L2 * np.sin(theta1 + theta2)
+    return x, y
+
+
+def inverse_kinematics(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint angles reaching (x, y); acos argument clamped when unreachable."""
+    d2 = np.square(x) + np.square(y)
+    cos_t2 = (d2 - _L1 * _L1 - _L2 * _L2) / (2.0 * _L1 * _L2)
+    theta2 = np.arccos(np.clip(cos_t2, -1.0, 1.0))
+    theta1 = np.arctan2(y, x) - np.arctan2(
+        _L2 * np.sin(theta2), _L1 + _L2 * np.cos(theta2)
+    )
+    return theta1, theta2
+
+
+def build_forwardk2j(n_inputs: int = 16) -> BooleanFunction:
+    """Forward kinematics: angles in, stitched (x, y) coordinates out."""
+    op1, op2, half = _split_operands(n_inputs)
+    scale = (math.pi / 2) / float((1 << half) - 1)
+    theta1 = op1.astype(np.float64) * scale
+    theta2 = op2.astype(np.float64) * scale
+    x, y = forward_kinematics(theta1, theta2)
+    # Both coordinates lie in [-(l1+l2), l1+l2]; map onto [0, 1].
+    reach = _L1 + _L2
+    x_q = _quantize_unit((x + reach) / (2 * reach), half)
+    y_q = _quantize_unit((y + reach) / (2 * reach), half)
+    return BooleanFunction(n_inputs, 2 * half, (y_q << half) | x_q, name="forwardk2j")
+
+
+def build_inversek2j(n_inputs: int = 16) -> BooleanFunction:
+    """Inverse kinematics: stitched (x, y) in, stitched joint angles out."""
+    op1, op2, half = _split_operands(n_inputs)
+    reach = _L1 + _L2
+    denom = float((1 << half) - 1)
+    x = op1.astype(np.float64) / denom * reach
+    y = op2.astype(np.float64) / denom * reach
+    theta1, theta2 = inverse_kinematics(x, y)
+    # theta2 ∈ [0, π]; theta1 ∈ [-π/2, π/2] over this quadrant workspace.
+    t1_q = _quantize_unit((theta1 + math.pi / 2) / math.pi, half)
+    t2_q = _quantize_unit(theta2 / math.pi, half)
+    return BooleanFunction(n_inputs, 2 * half, (t2_q << half) | t1_q, name="inversek2j")

@@ -1,0 +1,128 @@
+"""A genuine Brent-Kung parallel-prefix adder.
+
+The Brent-Kung benchmark of Table I is an adder whose 16 input bits
+are two stitched 8-bit operands and whose 9 output bits are the sum
+plus carry-out.  Rather than tabulating ``a + b`` directly, this module
+builds the actual Brent-Kung prefix network — generate/propagate
+pre-processing, the logarithmic-depth prefix tree with its inverse
+(fan-back) phase, and sum post-processing — so that the substrate is a
+real gate-level construction (and its structure is unit-tested against
+integer addition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..boolean import ops
+from ..boolean.function import BooleanFunction
+
+__all__ = ["BrentKungAdder", "build_brent_kung"]
+
+
+@dataclass(frozen=True)
+class _PrefixNode:
+    """One black cell of the prefix tree: combines spans of (g, p)."""
+
+    level: int
+    position: int  # index whose (g, p) is updated
+    source: int  # index providing the lower half of the span
+
+
+class BrentKungAdder:
+    """Structural Brent-Kung adder for ``width``-bit operands.
+
+    The prefix network is materialised as an explicit list of black
+    cells so its size and depth can be inspected (classical results:
+    ``2·(w − 1) − log2(w)`` cells and ``2·log2(w) − 1`` levels for a
+    power-of-two width).
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.nodes: List[_PrefixNode] = []
+        self._build_tree()
+
+    def _build_tree(self) -> None:
+        """Enumerate black cells: up-sweep then down-sweep."""
+        width = self.width
+        level = 0
+        # Up-sweep: combine at strides 2, 4, 8, ... (positions 2^k-1 mod 2^k)
+        stride = 2
+        while stride <= width:
+            level += 1
+            for pos in range(stride - 1, width, stride):
+                self.nodes.append(_PrefixNode(level, pos, pos - stride // 2))
+            stride *= 2
+        # Down-sweep: fill in the remaining prefixes at shrinking strides.
+        stride //= 2
+        while stride >= 2:
+            positions = list(range(stride + stride // 2 - 1, width, stride))
+            if positions:
+                level += 1
+                for pos in positions:
+                    self.nodes.append(_PrefixNode(level, pos, pos - stride // 2))
+            stride //= 2
+        self.depth = level
+
+    @property
+    def n_prefix_cells(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Add operand arrays through the prefix network (gate semantics).
+
+        Returns the ``width + 1``-bit sums.  All operations are bitwise
+        on the per-bit generate/propagate signals — no ``+`` anywhere —
+        which is what makes this a faithful structural model.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        bits_a = [ops.bit_of(a, i).astype(np.int64) for i in range(self.width)]
+        bits_b = [ops.bit_of(b, i).astype(np.int64) for i in range(self.width)]
+
+        generate = [bits_a[i] & bits_b[i] for i in range(self.width)]
+        propagate = [bits_a[i] ^ bits_b[i] for i in range(self.width)]
+        # Group (G, P) signals, updated in place by the prefix cells.
+        g = [x.copy() for x in generate]
+        p = [x.copy() for x in propagate]
+        for node in self.nodes:
+            hi, lo = node.position, node.source
+            g[hi] = g[hi] | (p[hi] & g[lo])
+            p[hi] = p[hi] & p[lo]
+
+        # g[i] is now the carry *out of* bit i; sum bit i consumes the
+        # carry into it (zero for bit 0).
+        result = propagate[0].copy()
+        for i in range(1, self.width):
+            result = result | ((propagate[i] ^ g[i - 1]) << i)
+        result = result | (g[self.width - 1] << self.width)
+        return result
+
+    def as_boolean_function(self) -> BooleanFunction:
+        """Tabulate the adder as a ``2w``-input, ``w+1``-output function.
+
+        The input word stitches the operands as in the paper: operand
+        ``a`` occupies the low ``w`` bits, operand ``b`` the high ``w``
+        bits.
+        """
+        xs = ops.all_inputs(2 * self.width)
+        a = xs & ((1 << self.width) - 1)
+        b = xs >> self.width
+        table = self.add(a, b)
+        return BooleanFunction(
+            2 * self.width, self.width + 1, table, name="brent-kung"
+        )
+
+
+def build_brent_kung(n_inputs: int = 16) -> BooleanFunction:
+    """Table I's Brent-Kung benchmark at a configurable input width."""
+    if n_inputs % 2 != 0:
+        raise ValueError(f"n_inputs must be even (two operands), got {n_inputs}")
+    return BrentKungAdder(n_inputs // 2).as_boolean_function()

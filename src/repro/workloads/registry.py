@@ -1,0 +1,114 @@
+"""Benchmark registry — the programmatic form of Table I.
+
+``get(name, n_inputs)`` builds any of the ten paper benchmarks at a
+configurable input width (16 reproduces the paper; smaller widths are
+the laptop-scale default of the bundled harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..boolean.function import BooleanFunction
+from .axbench import build_forwardk2j, build_inversek2j, build_multiplier
+from .brent_kung import build_brent_kung
+from .continuous import CONTINUOUS, build_continuous
+
+__all__ = [
+    "BenchmarkSpec",
+    "get",
+    "names",
+    "continuous_names",
+    "noncontinuous_names",
+    "specs",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Registry entry: how to build one benchmark and its Table I row."""
+
+    name: str
+    kind: str  # "continuous" | "non-continuous"
+    builder: Callable[[int], BooleanFunction]
+    domain: Optional[Tuple[float, float]] = None
+    value_range: Optional[Tuple[float, float]] = None
+
+    def build(self, n_inputs: int = 16) -> BooleanFunction:
+        return self.builder(n_inputs)
+
+    def outputs_for(self, n_inputs: int) -> int:
+        """Output width at a given input width (mirrors Table I at 16)."""
+        if self.kind == "continuous":
+            return n_inputs
+        if self.name == "brent-kung":
+            return n_inputs // 2 + 1
+        return n_inputs
+
+
+def _continuous_spec(name: str) -> BenchmarkSpec:
+    spec = CONTINUOUS[name]
+    return BenchmarkSpec(
+        name=name,
+        kind="continuous",
+        builder=lambda n, _name=name: build_continuous(_name, n),
+        domain=spec.domain,
+        value_range=spec.value_range,
+    )
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {
+    **{name: _continuous_spec(name) for name in CONTINUOUS},
+    "brent-kung": BenchmarkSpec("brent-kung", "non-continuous", build_brent_kung),
+    "forwardk2j": BenchmarkSpec("forwardk2j", "non-continuous", build_forwardk2j),
+    "inversek2j": BenchmarkSpec("inversek2j", "non-continuous", build_inversek2j),
+    "multiplier": BenchmarkSpec("multiplier", "non-continuous", build_multiplier),
+}
+
+
+def names() -> List[str]:
+    """All ten benchmark names, continuous first (Table I order)."""
+    return continuous_names() + noncontinuous_names()
+
+
+def continuous_names() -> List[str]:
+    return list(CONTINUOUS)
+
+
+def noncontinuous_names() -> List[str]:
+    return ["brent-kung", "forwardk2j", "inversek2j", "multiplier"]
+
+
+def specs() -> Dict[str, BenchmarkSpec]:
+    return dict(_REGISTRY)
+
+
+def get(name: str, n_inputs: int = 16) -> BooleanFunction:
+    """Build a benchmark by name at the requested input width."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {names()}"
+        ) from None
+    return spec.build(n_inputs)
+
+
+def table1_rows(n_inputs: int = 16) -> List[Dict[str, object]]:
+    """The data behind Table I, one dict per benchmark."""
+    rows: List[Dict[str, object]] = []
+    for name in names():
+        spec = _REGISTRY[name]
+        row: Dict[str, object] = {
+            "benchmark": name,
+            "kind": spec.kind,
+            "n_inputs": n_inputs,
+            "n_outputs": spec.outputs_for(n_inputs),
+        }
+        if spec.domain is not None:
+            row["domain"] = spec.domain
+            row["range"] = spec.value_range
+        rows.append(row)
+    return rows

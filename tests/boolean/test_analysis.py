@@ -1,0 +1,86 @@
+"""Unit tests for the decomposability analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import DisjointDecomposition, Partition
+from repro.boolean.analysis import (
+    column_multiplicity,
+    decomposability_report,
+    minimum_flip_distance,
+    profile_output_bit,
+)
+from repro.workloads import build_brent_kung, build_multiplier
+
+from ..conftest import random_bits
+
+
+class TestColumnMultiplicity:
+    def test_constant_function(self):
+        p = Partition((2, 3), (0, 1))
+        assert column_multiplicity(np.zeros(16, dtype=np.uint8), p, 4) == 1
+
+    def test_vt_function_at_most_four(self, rng):
+        p = Partition((0, 3, 4), (1, 2))
+        pattern = np.array([0, 1, 1, 0], dtype=np.uint8)
+        types = rng.integers(1, 5, size=8).astype(np.int8)
+        bits = DisjointDecomposition(p, pattern, types).evaluate(5)
+        assert column_multiplicity(bits, p, 5) <= 4
+
+    def test_random_function_high(self, rng):
+        p = Partition((4, 5, 6, 7), (0, 1, 2, 3))
+        bits = random_bits(8, rng)
+        assert column_multiplicity(bits, p, 8) > 4
+
+
+class TestMinimumFlipDistance:
+    def test_zero_when_decomposable(self, rng):
+        p = Partition((2, 3), (0, 1))
+        pattern = np.array([0, 1, 0, 1], dtype=np.uint8)
+        types = rng.integers(1, 5, size=4).astype(np.int8)
+        bits = DisjointDecomposition(p, pattern, types).evaluate(4)
+        assert minimum_flip_distance(bits, p, 4) == 0
+
+    def test_single_corruption_costs_one(self, rng):
+        p = Partition((2, 3), (0, 1))
+        pattern = np.array([0, 1, 1, 0], dtype=np.uint8)
+        types = np.array([3, 4, 3, 4], dtype=np.int8)
+        bits = DisjointDecomposition(p, pattern, types).evaluate(4).copy()
+        bits[5] ^= 1
+        assert minimum_flip_distance(bits, p, 4) == 1
+
+    def test_bounded_by_table_size(self, rng):
+        p = Partition((3, 4), (0, 1, 2))
+        bits = random_bits(5, rng)
+        distance = minimum_flip_distance(bits, p, 5)
+        assert 0 <= distance <= 16  # at most half the cells need flipping
+
+
+class TestProfiles:
+    def test_adder_msb_highly_decomposable(self):
+        """Brent-Kung's carry-out has many exact partitions."""
+        adder = build_brent_kung(8)
+        profile = profile_output_bit(adder, 0, bound_size=4, max_partitions=30)
+        # the sum LSB is a2 xor b2-style: decomposable under many splits
+        assert profile.best_flip_distance == 0
+
+    def test_multiplier_mid_bits_hard(self):
+        """The stitched multiplier's middle bits resist decomposition."""
+        mult = build_multiplier(8)
+        profile = profile_output_bit(mult, 4, bound_size=4, max_partitions=30)
+        assert profile.exactly_decomposable == 0
+        assert profile.best_flip_distance > 0
+
+    def test_profile_fields(self, rng):
+        adder = build_brent_kung(6)
+        profile = profile_output_bit(adder, 1, bound_size=3, max_partitions=10)
+        assert profile.n_partitions <= 20
+        assert 0.0 <= profile.exact_fraction <= 1.0
+        assert sum(profile.multiplicity_histogram.values()) == profile.n_partitions
+        assert "bit y2" in profile.render()
+
+    def test_report(self):
+        adder = build_brent_kung(6)
+        text = decomposability_report(adder, bound_size=3, max_partitions=8)
+        assert "decomposability of brent-kung" in text
+        assert text.count("bit y") == adder.n_outputs

@@ -1,0 +1,199 @@
+"""Unit tests for BooleanFunction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boolean import BooleanFunction
+
+from ..conftest import random_function
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = BooleanFunction(2, 2, [0, 1, 2, 3])
+        assert f.n_inputs == 2
+        assert f.n_outputs == 2
+        assert f.size == 4
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            BooleanFunction(2, 1, [0, 1, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            BooleanFunction(1, 1, [0, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            BooleanFunction(1, 1, [0, -1])
+
+    def test_zero_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(1, 0, [0, 0])
+
+    def test_default_name(self):
+        assert BooleanFunction(1, 1, [0, 1]).name == "func_1x1"
+
+
+class TestFromCallable:
+    def test_identity(self):
+        f = BooleanFunction.from_callable(lambda x: x, 3, 3, name="id")
+        assert f.table.tolist() == list(range(8))
+
+    def test_from_vectorized(self):
+        f = BooleanFunction.from_vectorized(lambda xs: xs ^ 1, 2, 2)
+        assert f.table.tolist() == [1, 0, 3, 2]
+
+
+class TestFromRealFunction:
+    def test_linear_ramp(self):
+        f = BooleanFunction.from_real_function(
+            lambda x: x, (0.0, 1.0), (0.0, 1.0), 4, 4
+        )
+        # identity quantisation: word i maps to level i
+        assert f.table.tolist() == list(range(16))
+
+    def test_cos_endpoints(self):
+        f = BooleanFunction.from_real_function(
+            np.cos, (0.0, math.pi / 2), (0.0, 1.0), 8, 8
+        )
+        assert f.table[0] == 255  # cos(0) = 1
+        assert f.table[-1] == 0  # cos(pi/2) = 0
+
+    def test_clipping(self):
+        f = BooleanFunction.from_real_function(
+            lambda x: 2 * x, (0.0, 1.0), (0.0, 1.0), 3, 3
+        )
+        assert f.table.max() == 7
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="domain"):
+            BooleanFunction.from_real_function(
+                lambda x: x, (1.0, 1.0), (0.0, 1.0), 3, 3
+            )
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            BooleanFunction.from_real_function(
+                lambda x: x, (0.0, 1.0), (1.0, 1.0), 3, 3
+            )
+
+
+class TestComponents:
+    def test_component_extraction(self):
+        f = BooleanFunction(2, 2, [0b00, 0b01, 0b10, 0b11])
+        assert f.component(0).tolist() == [0, 1, 0, 1]
+        assert f.component(1).tolist() == [0, 0, 1, 1]
+
+    def test_component_out_of_range(self):
+        f = BooleanFunction(1, 1, [0, 1])
+        with pytest.raises(ValueError):
+            f.component(1)
+
+    def test_components_matrix(self):
+        f = BooleanFunction(1, 2, [0b10, 0b01])
+        assert f.components().tolist() == [[0, 1], [1, 0]]
+
+    def test_with_component_replaces(self):
+        f = BooleanFunction(1, 2, [0, 0])
+        g = f.with_component(1, np.array([1, 1]))
+        assert g.table.tolist() == [2, 2]
+        assert f.table.tolist() == [0, 0]
+
+    def test_with_component_rejects_nonbinary(self):
+        f = BooleanFunction(1, 1, [0, 0])
+        with pytest.raises(ValueError):
+            f.with_component(0, np.array([0, 2]))
+
+    def test_from_component_bits_roundtrip(self, rng):
+        f = random_function(4, 3, rng)
+        rebuilt = BooleanFunction.from_component_bits(
+            [f.component(k) for k in range(3)]
+        )
+        assert rebuilt.equals(f)
+
+    def test_from_component_bits_rejects_bad_length(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BooleanFunction.from_component_bits([np.array([0, 1, 0])])
+
+
+class TestEvaluation:
+    def test_scalar_call(self):
+        f = BooleanFunction(2, 2, [3, 2, 1, 0])
+        assert f(0) == 3
+        assert isinstance(f(0), int)
+
+    def test_array_call(self):
+        f = BooleanFunction(2, 2, [3, 2, 1, 0])
+        assert f(np.array([0, 3])).tolist() == [3, 0]
+
+
+class TestCofactor:
+    def test_cofactor_shrinks(self):
+        f = BooleanFunction(3, 3, list(range(8)))
+        g0 = f.cofactor(0, 0)
+        assert g0.n_inputs == 2
+        assert g0.table.tolist() == [0, 2, 4, 6]
+        g1 = f.cofactor(0, 1)
+        assert g1.table.tolist() == [1, 3, 5, 7]
+
+    def test_cofactor_high_bit(self):
+        f = BooleanFunction(3, 3, list(range(8)))
+        g = f.cofactor(2, 1)
+        assert g.table.tolist() == [4, 5, 6, 7]
+
+    def test_shannon_expansion(self, rng):
+        f = random_function(5, 2, rng)
+        for var in range(5):
+            g0, g1 = f.cofactor(var, 0), f.cofactor(var, 1)
+            # every entry of f appears in the right cofactor
+            for x in range(f.size):
+                bit = (x >> var) & 1
+                reduced = ((x & ((1 << var) - 1))) | ((x >> (var + 1)) << var)
+                expected = (g1 if bit else g0).table[reduced]
+                assert f.table[x] == expected
+
+    def test_invalid_args(self):
+        f = BooleanFunction(2, 1, [0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            f.cofactor(2, 0)
+        with pytest.raises(ValueError):
+            f.cofactor(0, 2)
+
+
+class TestPermuteInputs:
+    def test_identity_permutation(self, rng):
+        f = random_function(4, 2, rng)
+        assert f.permute_inputs([0, 1, 2, 3]).equals(f)
+
+    def test_swap_permutation(self):
+        f = BooleanFunction(2, 2, [0, 1, 2, 3])  # f(x) = x
+        g = f.permute_inputs([1, 0])
+        # new bit0 reads original bit1: g(0b01) = f(0b10) = 2
+        assert g.table.tolist() == [0, 2, 1, 3]
+
+    def test_permutation_must_cover(self):
+        f = BooleanFunction(2, 1, [0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            f.permute_inputs([0])
+
+
+class TestComparisons:
+    def test_equals_and_eq(self, rng):
+        f = random_function(3, 2, rng)
+        g = BooleanFunction(3, 2, f.table.copy())
+        assert f.equals(g)
+        assert f == g
+
+    def test_hamming_distance(self):
+        f = BooleanFunction(2, 1, [0, 0, 0, 0])
+        g = BooleanFunction(2, 1, [0, 1, 1, 0])
+        assert f.hamming_distance(g) == 2
+
+    def test_incompatible_shapes(self):
+        f = BooleanFunction(2, 1, [0, 0, 0, 0])
+        g = BooleanFunction(1, 1, [0, 0])
+        with pytest.raises(ValueError):
+            f.hamming_distance(g)

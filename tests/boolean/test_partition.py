@@ -1,0 +1,131 @@
+"""Unit tests for variable partitions."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import Partition, all_partitions, partition_count, random_partition
+
+
+class TestConstruction:
+    def test_sorts_members(self):
+        p = Partition((3, 1), (2, 0))
+        assert p.free == (1, 3)
+        assert p.bound == (0, 2)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Partition((0, 1), (1, 2))
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(ValueError):
+            Partition((), (0,))
+        with pytest.raises(ValueError):
+            Partition((0,), ())
+
+    def test_shapes(self):
+        p = Partition((2, 3, 4), (0, 1))
+        assert p.n_inputs == 5
+        assert p.n_free == 3
+        assert p.n_bound == 2
+        assert p.n_rows == 8
+        assert p.n_cols == 4
+
+    def test_hashable_and_equal(self):
+        assert Partition((1, 3), (0, 2)) == Partition((3, 1), (2, 0))
+        assert len({Partition((1,), (0,)), Partition((1,), (0,))}) == 1
+
+    def test_validate_for(self):
+        Partition((2, 3), (0, 1)).validate_for(4)
+        with pytest.raises(ValueError):
+            Partition((2, 3), (0, 1)).validate_for(5)
+        with pytest.raises(ValueError):
+            Partition((2, 4), (0, 1)).validate_for(4)
+
+
+class TestCoordinates:
+    def test_row_col_roundtrip(self):
+        p = Partition((2, 3), (0, 1))
+        words = np.arange(16)
+        rows, cols = p.row_col_of(words)
+        assert p.word_of(rows, cols).tolist() == words.tolist()
+
+    def test_scatter_index_is_permutation(self):
+        p = Partition((1, 3), (0, 2))
+        idx = p.scatter_index(4)
+        assert sorted(idx.tolist()) == list(range(16))
+
+    def test_scatter_index_layout(self):
+        # low bits bound: row-major layout means idx[x] = x reordered
+        p = Partition((2, 3), (0, 1))
+        idx = p.scatter_index(4)
+        # word x: row = x >> 2, col = x & 3 -> flat index = x
+        assert idx.tolist() == list(range(16))
+
+
+class TestNeighbours:
+    def test_neighbour_count(self):
+        p = Partition((2, 3), (0, 1))
+        assert len(p.neighbours()) == 4  # 2 free x 2 bound swaps
+
+    def test_neighbours_preserve_sizes(self):
+        p = Partition((2, 3, 4), (0, 1))
+        for nb in p.neighbours():
+            assert nb.n_free == 3
+            assert nb.n_bound == 2
+            assert p.is_neighbour_of(nb)
+
+    def test_self_not_neighbour(self):
+        p = Partition((2, 3), (0, 1))
+        assert not p.is_neighbour_of(p)
+
+    def test_sample_neighbours_distinct(self, rng):
+        p = Partition((3, 4, 5), (0, 1, 2))
+        sampled = p.sample_neighbours(5, rng)
+        assert len(sampled) == 5
+        assert len(set(sampled)) == 5
+
+    def test_sample_more_than_available(self, rng):
+        p = Partition((1,), (0,))
+        sampled = p.sample_neighbours(10, rng)
+        assert len(sampled) == 1  # only one swap exists
+
+    def test_neighbour_free_sets_differ_in_one(self):
+        p = Partition((2, 3), (0, 1))
+        for nb in p.neighbours():
+            assert len(set(p.free) - set(nb.free)) == 1
+
+
+class TestSharedValidation:
+    def test_with_shared_first(self):
+        p = Partition((2, 3), (0, 1))
+        assert p.with_shared_first(0) is p
+        with pytest.raises(ValueError):
+            p.with_shared_first(2)
+
+
+class TestGenerators:
+    def test_random_partition_valid(self, rng):
+        for _ in range(20):
+            p = random_partition(8, 3, rng)
+            p.validate_for(8)
+            assert p.n_bound == 3
+
+    def test_random_partition_bad_bound(self, rng):
+        with pytest.raises(ValueError):
+            random_partition(4, 0, rng)
+        with pytest.raises(ValueError):
+            random_partition(4, 4, rng)
+
+    def test_all_partitions_complete(self):
+        parts = list(all_partitions(5, 2))
+        assert len(parts) == partition_count(5, 2) == 10
+        assert len(set(parts)) == 10
+        for p in parts:
+            p.validate_for(5)
+
+    def test_random_partition_covers_space(self, rng):
+        seen = {random_partition(5, 2, rng) for _ in range(300)}
+        assert len(seen) == partition_count(5, 2)
+
+    def test_str(self):
+        assert str(Partition((1,), (0,))) == "A={x2} B={x1}"

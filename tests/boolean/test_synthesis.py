@@ -1,0 +1,90 @@
+"""Unit tests for expression printing and LUT image rendering."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import (
+    DisjointDecomposition,
+    NonDisjointDecomposition,
+    Partition,
+    describe_decomposition,
+    free_expression,
+    lut_image_bits,
+    lut_image_hex,
+    phi_expression,
+    sop_expression,
+)
+
+
+class TestSopExpression:
+    def test_constants(self):
+        assert sop_expression(np.array([0, 0]), ["x1"]) == "0"
+        assert sop_expression(np.array([1, 1]), ["x1"]) == "1"
+
+    def test_xor(self):
+        bits = np.array([0, 1, 1, 0])
+        expr = sop_expression(bits, ["x3", "x4"])
+        assert expr == "x3·~x4 + ~x3·x4"
+
+    def test_single_minterm(self):
+        bits = np.array([0, 0, 0, 1])
+        assert sop_expression(bits, ["a", "b"]) == "a·b"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sop_expression(np.array([0, 1, 0]), ["a", "b"])
+
+
+class TestDecompositionExpressions:
+    def _xor_decomposition(self):
+        p = Partition((0, 1), (2, 3))
+        pattern = np.array([0, 1, 1, 0], dtype=np.uint8)
+        types = np.array([3, 4, 2, 1], dtype=np.int8)
+        return DisjointDecomposition(p, pattern, types)
+
+    def test_phi_expression_example1(self):
+        # Example 1: phi(x3, x4) = ~x3·x4 + x3·~x4
+        expr = phi_expression(self._xor_decomposition())
+        assert expr == "x3·~x4 + ~x3·x4"
+
+    def test_free_expression_mentions_phi(self):
+        expr = free_expression(self._xor_decomposition())
+        assert "φ" in expr
+
+    def test_describe_disjoint(self):
+        text = describe_decomposition(self._xor_decomposition())
+        assert "disjoint decomposition" in text
+        assert "V = 0110" in text
+        assert "T = (3, 4, 2, 1)" in text
+        assert "LUT entries: 12" in text
+
+    def test_describe_nondisjoint(self):
+        p = Partition((3, 4), (0, 1, 2))
+        dec = NonDisjointDecomposition(
+            p,
+            1,
+            np.array([0, 1, 1, 0], dtype=np.uint8),
+            np.full(4, 3, dtype=np.int8),
+            np.array([1, 0, 0, 1], dtype=np.uint8),
+            np.full(4, 3, dtype=np.int8),
+        )
+        text = describe_decomposition(dec)
+        assert "non-disjoint" in text
+        assert "shared bit x2" in text
+        assert "φ0" in text and "φ1" in text
+
+    def test_describe_rejects_other(self):
+        with pytest.raises(TypeError):
+            describe_decomposition(object())
+
+
+class TestLutImages:
+    def test_bits(self):
+        assert lut_image_bits(np.array([1, 0, 1])) == "1\n0\n1"
+
+    def test_hex(self):
+        assert lut_image_hex(np.array([255, 1]), 8) == "ff\n01"
+
+    def test_hex_width_rounding(self):
+        assert lut_image_hex(np.array([5]), 3) == "5"
+        assert lut_image_hex(np.array([5]), 5) == "05"

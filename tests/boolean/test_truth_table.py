@@ -1,0 +1,79 @@
+"""Unit tests for 2D truth-table reshaping."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import (
+    BooleanFunction,
+    Partition,
+    TwoDimensionalTable,
+    component_matrix,
+    from_matrix,
+    to_matrix,
+)
+
+from ..conftest import random_function
+
+
+class TestToFromMatrix:
+    def test_roundtrip(self, rng):
+        p = Partition((0, 3), (1, 2))
+        values = rng.normal(size=16)
+        matrix = to_matrix(values, p, 4)
+        assert matrix.shape == (4, 4)
+        back = from_matrix(matrix, p, 4)
+        assert np.allclose(back, values)
+
+    def test_entry_semantics(self):
+        # f(x) = x with A={x3,x4} rows, B={x1,x2} cols
+        p = Partition((2, 3), (0, 1))
+        matrix = to_matrix(np.arange(16), p, 4)
+        # row r, col c corresponds to word (r << 2) | c
+        for r in range(4):
+            for c in range(4):
+                assert matrix[r, c] == (r << 2) | c
+
+    def test_shape_validation(self):
+        p = Partition((1,), (0,))
+        with pytest.raises(ValueError):
+            to_matrix(np.zeros(3), p, 2)
+        with pytest.raises(ValueError):
+            from_matrix(np.zeros((2, 3)), p, 2)
+
+
+class TestComponentMatrix:
+    def test_matches_manual(self, rng):
+        f = random_function(4, 2, rng)
+        p = Partition((1, 2), (0, 3))
+        matrix = component_matrix(f, 1, p)
+        flat = from_matrix(matrix, p, 4)
+        assert flat.tolist() == f.component(1).tolist()
+
+
+class TestTwoDimensionalTable:
+    def test_rejects_nonbinary(self):
+        p = Partition((1,), (0,))
+        with pytest.raises(ValueError):
+            TwoDimensionalTable(np.array([0, 1, 2, 0]), p, 2)
+
+    def test_distinct_rows_and_multiplicity(self):
+        # xor function: rows are V and ~V
+        f = BooleanFunction.from_vectorized(
+            lambda xs: ((xs & 1) ^ ((xs >> 1) & 1)), 2, 1
+        )
+        p = Partition((1,), (0,))
+        table = TwoDimensionalTable.of_component(f, 0, p)
+        assert table.n_rows == 2
+        assert table.n_cols == 2
+        assert table.column_multiplicity() == 2
+
+    def test_flatten_roundtrip(self, rng):
+        f = random_function(5, 1, rng)
+        p = Partition((0, 2, 4), (1, 3))
+        table = TwoDimensionalTable.of_component(f, 0, p)
+        assert table.flatten().tolist() == f.component(0).tolist()
+
+    def test_row_accessor(self):
+        p = Partition((2, 3), (0, 1))
+        table = TwoDimensionalTable(np.arange(16) % 2, p, 4)
+        assert table.row(0).tolist() == [0, 1, 0, 1]

@@ -1,0 +1,59 @@
+"""Tests of the BTO mode, including the paper's Example 2 (Fig. 2(a))."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import DisjointDecomposition, Partition, RowType
+from repro.core import cost_vectors_fixed, opt_for_part_bto
+from repro.metrics import distributions
+
+
+def example2_function():
+    """Example 2's 2D truth table: V = (1,1,1,0), T = (3,2,3,3).
+
+    Exactly decomposable; restricting all rows to type 3 misclassifies
+    a single cell (the red cell in Fig. 2(a)).
+    """
+    partition = Partition((2, 3), (0, 1))
+    pattern = np.array([1, 1, 1, 0], dtype=np.uint8)
+    types = np.array(
+        [RowType.PATTERN, RowType.ALL_ONE, RowType.PATTERN, RowType.PATTERN],
+        dtype=np.int8,
+    )
+    dec = DisjointDecomposition(partition, pattern, types)
+    return dec.evaluate(4), partition
+
+
+class TestExample2:
+    def test_bto_error_is_one_cell(self, rng):
+        bits, partition = example2_function()
+        costs = cost_vectors_fixed(
+            bits.astype(np.int64), np.zeros(16, dtype=np.int64), 0
+        )
+        p = distributions.uniform(4)
+        result = opt_for_part_bto(costs, p, partition, 4)
+        # exactly one cell of sixteen wrong: the type-2 row has one 0
+        # in V (column 3), so forcing it to type 3 misses one entry
+        assert result.error == pytest.approx(1 / 16)
+
+    def test_bto_pattern_matches_paper(self, rng):
+        bits, partition = example2_function()
+        costs = cost_vectors_fixed(
+            bits.astype(np.int64), np.zeros(16, dtype=np.int64), 0
+        )
+        p = distributions.uniform(4)
+        result = opt_for_part_bto(costs, p, partition, 4)
+        assert result.decomposition.pattern.tolist() == [1, 1, 1, 0]
+
+    def test_bto_output_independent_of_free_set(self, rng):
+        bits, partition = example2_function()
+        costs = cost_vectors_fixed(
+            bits.astype(np.int64), np.zeros(16, dtype=np.int64), 0
+        )
+        p = distributions.uniform(4)
+        result = opt_for_part_bto(costs, p, partition, 4)
+        out = result.decomposition.evaluate(4)
+        # same column -> same output, regardless of the free bits
+        for col in range(4):
+            column_values = {int(out[(r << 2) | col]) for r in range(4)}
+            assert len(column_values) == 1

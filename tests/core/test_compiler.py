@@ -1,0 +1,81 @@
+"""Unit tests for the high-level compiler API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import approximate
+from repro.metrics import distributions, med
+
+from ..conftest import random_function
+
+
+class TestApproximate:
+    def test_default_pipeline(self, rng, fast_config):
+        f = random_function(6, 4, rng)
+        lut = approximate(f, config=fast_config, rng=rng)
+        assert lut.architecture == "bto-normal-nd"
+        assert lut.med == pytest.approx(
+            med(f, lut.approx_function, distributions.uniform(6))
+        )
+
+    def test_dalta_algorithm(self, rng, fast_config):
+        f = random_function(6, 3, rng)
+        lut = approximate(
+            f, architecture="dalta", algorithm="dalta", config=fast_config, rng=rng
+        )
+        assert lut.mode_counts() == {"normal": 3}
+
+    def test_scalar_and_array_evaluate(self, rng, fast_config):
+        f = random_function(5, 3, rng)
+        lut = approximate(f, architecture="dalta", config=fast_config, rng=rng)
+        value = lut.evaluate(3)
+        assert isinstance(value, int)
+        assert lut(np.array([3])).tolist() == [value]
+
+    def test_unknown_architecture(self, rng, fast_config):
+        f = random_function(4, 2, rng)
+        with pytest.raises(ValueError, match="architecture"):
+            approximate(f, architecture="quantum", config=fast_config)
+
+    def test_unknown_algorithm(self, rng, fast_config):
+        f = random_function(4, 2, rng)
+        with pytest.raises(ValueError, match="algorithm"):
+            approximate(f, algorithm="magic", config=fast_config)
+
+    def test_error_report(self, rng, fast_config):
+        f = random_function(5, 3, rng)
+        lut = approximate(f, config=fast_config, rng=rng)
+        report = lut.error_report()
+        assert report.med == pytest.approx(lut.med)
+        assert 0.0 <= report.error_rate <= 1.0
+
+    def test_lut_entries_below_exact(self, rng, fast_config):
+        f = random_function(7, 4, rng)
+        lut = approximate(f, architecture="dalta", config=fast_config, rng=rng)
+        assert lut.lut_entries() < (1 << 7) * 4
+
+    def test_hardware_lazy_and_cached(self, rng, fast_config):
+        f = random_function(5, 2, rng)
+        lut = approximate(f, config=fast_config, rng=rng)
+        hw = lut.hardware()
+        assert hw is lut.hardware()
+        assert hw.n_inputs == 5
+
+    def test_to_verilog(self, rng, fast_config):
+        f = random_function(5, 2, rng)
+        lut = approximate(f, config=fast_config, rng=rng)
+        rtl = lut.to_verilog("my_lut")
+        assert "module my_lut" in rtl
+        assert "alut_ram" in rtl
+
+    def test_custom_distribution_flows_through(self, rng, fast_config):
+        f = random_function(5, 3, rng)
+        p = distributions.truncated_gaussian(5)
+        lut = approximate(f, config=fast_config, p=p, rng=rng)
+        assert lut.med == pytest.approx(med(f, lut.approx_function, p))
+
+    def test_top_level_reexports(self):
+        assert repro.approximate is approximate
+        assert "bto-normal-nd" in repro.ARCHITECTURES
+        assert "bs-sa" in repro.ALGORITHMS

@@ -1,0 +1,69 @@
+"""Unit tests for AlgorithmConfig."""
+
+import pytest
+
+from repro.core import AlgorithmConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        AlgorithmConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bound_size": 0},
+            {"rounds": 0},
+            {"partition_limit": 0},
+            {"n_initial_patterns": 0},
+            {"n_beam": 0},
+            {"n_neighbours": 0},
+            {"cooling_factor": 1.0},
+            {"cooling_factor": 0.0},
+            {"initial_temperature": 0.0},
+            {"delta": 0.2, "delta_prime": 0.1},
+            {"delta": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(**kwargs)
+
+
+class TestPresets:
+    def test_paper_bssa_matches_section5(self):
+        cfg = AlgorithmConfig.paper_bssa()
+        assert cfg.bound_size == 9
+        assert cfg.rounds == 5
+        assert cfg.partition_limit == 500
+        assert cfg.n_initial_patterns == 30
+        assert cfg.n_beam == 3
+        assert cfg.n_neighbours == 5
+        assert cfg.initial_temperature == pytest.approx(0.2)
+        assert cfg.cooling_factor == pytest.approx(0.9)
+        assert cfg.delta == pytest.approx(0.01)
+        assert cfg.delta_prime == pytest.approx(0.1)
+
+    def test_paper_dalta_has_double_budget(self):
+        assert AlgorithmConfig.paper_dalta().partition_limit == 1000
+
+    def test_fast_is_small(self):
+        cfg = AlgorithmConfig.fast()
+        assert cfg.partition_limit <= 16
+        assert cfg.bound_size <= 5
+
+
+class TestForInputs:
+    def test_wide_function_keeps_bound(self):
+        cfg = AlgorithmConfig.paper_bssa()
+        assert cfg.for_inputs(16).bound_size == 9
+
+    def test_narrow_function_scales_bound(self):
+        cfg = AlgorithmConfig.paper_bssa()
+        scaled = cfg.for_inputs(8)
+        assert 1 <= scaled.bound_size < 8
+        # proportional to 9/16
+        assert scaled.bound_size == round(8 * 9 / 16)
+
+    def test_with_seed(self):
+        assert AlgorithmConfig.fast().with_seed(99).seed == 99

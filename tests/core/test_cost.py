@@ -1,0 +1,120 @@
+"""Unit tests for the per-bit cost models, including brute-force checks
+of the paper's §III-B predictive model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cost_vectors_accurate_lsb,
+    cost_vectors_fixed,
+    cost_vectors_predictive,
+    msb_word,
+    rest_word,
+)
+
+from ..conftest import random_function
+
+
+class TestWordHelpers:
+    def test_rest_word_clears_bit(self):
+        table = np.array([0b111, 0b101])
+        assert rest_word(table, 1).tolist() == [0b101, 0b101]
+
+    def test_msb_word_clears_low_bits(self):
+        table = np.array([0b1111])
+        assert msb_word(table, 1).tolist() == [0b1100]
+
+
+class TestFixedContext:
+    def test_simple(self):
+        target = np.array([5])
+        rest = np.array([4])
+        costs = cost_vectors_fixed(target, rest, 0)
+        assert costs.cost0.tolist() == [1.0]  # |4 - 5|
+        assert costs.cost1.tolist() == [0.0]  # |5 - 5|
+
+    def test_rejects_dirty_rest(self):
+        with pytest.raises(ValueError):
+            cost_vectors_fixed(np.array([0]), np.array([0b10]), 1)
+
+    def test_evaluate_and_bound(self, rng):
+        target = rng.integers(0, 16, size=8)
+        rest = rest_word(rng.integers(0, 16, size=8), 2)
+        costs = cost_vectors_fixed(target, rest, 2)
+        p = np.full(8, 1 / 8)
+        bits = rng.integers(0, 2, size=8)
+        value = costs.evaluate(bits, p)
+        manual = sum(
+            (costs.cost1[i] if bits[i] else costs.cost0[i]) * p[i] for i in range(8)
+        )
+        assert value == pytest.approx(manual)
+        assert costs.lower_bound(p) <= value + 1e-12
+
+
+class TestPredictiveModel:
+    """Brute-force verification of the three-case rule."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_matches_bruteforce(self, k, rng):
+        m = 4
+        n = 5
+        target = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        # a random assignment of the MSBs above k
+        msb = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        msb &= ~np.int64((1 << (k + 1)) - 1)
+        costs = cost_vectors_predictive(target, msb, k)
+        span = (1 << k) - 1
+        for x in range(1 << n):
+            for j in (0, 1):
+                y_hat_m = int(msb[x]) + (j << k)
+                best = min(
+                    abs(y_hat_m + lsb - int(target[x])) for lsb in range(span + 1)
+                )
+                got = costs.cost1[x] if j else costs.cost0[x]
+                assert got == best, (x, j)
+
+    def test_three_cases_explicitly(self):
+        # k = 2 (weight 4), LSBs span 0..3
+        target = np.array([5, 20, 4])
+        msb = np.array([8, 8, 0])
+        costs = cost_vectors_predictive(target, msb, 2)
+        # case Y_hat_M > Y_M: msb=8 > 5 -> cost0 = 8 - 5 = 3
+        assert costs.cost0[0] == 3
+        # case Y_hat_M < Y_M: 8+4=12 < 20 -> cost1 = 20 - 12 - 3 = 5
+        assert costs.cost1[1] == 5
+        # case equal: msb + 4 = 4 = Y_M of 4 -> cost1 = 0
+        assert costs.cost1[2] == 0
+
+    def test_rejects_dirty_msb(self):
+        with pytest.raises(ValueError):
+            cost_vectors_predictive(np.array([0]), np.array([1]), 1)
+
+
+class TestAccurateLsbModel:
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_matches_bruteforce(self, k, rng):
+        """DALTA's model: LSBs are the accurate ones."""
+        m = 4
+        n = 5
+        target = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        msb = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        msb &= ~np.int64((1 << (k + 1)) - 1)
+        costs = cost_vectors_accurate_lsb(target, msb, k)
+        low_mask = (1 << k) - 1
+        for x in range(1 << n):
+            y = int(target[x])
+            lsb = y & low_mask
+            for j in (0, 1):
+                approx = int(msb[x]) + (j << k) + lsb
+                got = costs.cost1[x] if j else costs.cost0[x]
+                assert got == abs(approx - y), (x, j)
+
+    def test_predictive_never_worse(self, rng):
+        """The predictive cost lower-bounds the accurate-LSB cost."""
+        target = rng.integers(0, 256, size=64).astype(np.int64)
+        msb = rng.integers(0, 256, size=64).astype(np.int64) & ~np.int64(0b1111)
+        k = 3
+        predictive = cost_vectors_predictive(target, msb, k)
+        accurate = cost_vectors_accurate_lsb(target, msb, k)
+        assert np.all(predictive.cost0 <= accurate.cost0 + 1e-12)
+        assert np.all(predictive.cost1 <= accurate.cost1 + 1e-12)

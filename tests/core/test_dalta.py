@@ -1,0 +1,77 @@
+"""Unit tests for the DALTA baseline algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmConfig, run_dalta
+from repro.metrics import distributions, med
+
+from ..conftest import random_function
+
+
+class TestRunDalta:
+    def test_produces_complete_sequence(self, rng, fast_config):
+        f = random_function(6, 4, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        assert result.sequence.is_complete()
+        assert result.algorithm == "dalta"
+        assert len(result.sequence) == 4
+
+    def test_med_is_consistent(self, rng, fast_config):
+        f = random_function(6, 4, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        p = distributions.uniform(6)
+        assert result.med == pytest.approx(
+            med(f, result.approx_function, p)
+        )
+
+    def test_all_settings_normal_mode(self, rng, fast_config):
+        f = random_function(6, 3, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        assert result.mode_counts() == {"normal": 3}
+
+    def test_round_history_recorded(self, rng, fast_config):
+        f = random_function(6, 3, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        assert len(result.round_history) == fast_config.rounds
+        assert result.round_history[-1] == pytest.approx(result.med)
+
+    def test_stats_counted(self, rng, fast_config):
+        f = random_function(6, 2, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        # P partitions per bit per round (space permitting)
+        assert result.stats.opt_for_part_calls > 0
+        assert result.stats.partitions_visited > 0
+
+    def test_seed_reproducibility(self, fast_config):
+        f = random_function(6, 3, np.random.default_rng(3))
+        a = run_dalta(f, fast_config.with_seed(11))
+        b = run_dalta(f, fast_config.with_seed(11))
+        assert a.med == pytest.approx(b.med)
+
+    def test_respects_partition_limit(self, rng):
+        f = random_function(6, 1, rng)
+        config = AlgorithmConfig.fast(seed=0)
+        result = run_dalta(f, config, rng=rng)
+        per_bit = config.partition_limit * config.rounds
+        assert result.stats.opt_for_part_calls <= per_bit
+
+    def test_approximation_reduces_storage(self, rng, fast_config):
+        """The whole point: decomposed storage is far below 2**n * m."""
+        f = random_function(8, 4, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        assert result.sequence.total_lut_entries() < (1 << 8) * 4
+
+    def test_single_output_function(self, rng, fast_config):
+        f = random_function(5, 1, rng)
+        result = run_dalta(f, fast_config, rng=rng)
+        assert result.sequence.is_complete()
+        assert 0 <= result.med <= 1
+
+    def test_custom_distribution(self, rng, fast_config):
+        f = random_function(5, 3, rng)
+        p = distributions.geometric_bit(5, 0.3)
+        result = run_dalta(f, fast_config, p=p, rng=rng)
+        assert result.med == pytest.approx(
+            med(f, result.approx_function, p)
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for the §IV mode-selection rules."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import BoundOnlyDecomposition, DisjointDecomposition, Partition
+from repro.core import (
+    AlgorithmConfig,
+    Setting,
+    select_mode,
+    select_mode_bto_normal,
+    select_mode_bto_normal_nd,
+)
+
+
+def _setting(error: float, mode: str = "normal") -> Setting:
+    partition = Partition((2, 3), (0, 1))
+    pattern = np.zeros(4, dtype=np.uint8)
+    if mode == "bto":
+        return Setting(error, BoundOnlyDecomposition(partition, pattern))
+    types = np.full(4, 3, dtype=np.int8)
+    dec = DisjointDecomposition(partition, pattern, types, mode=mode)
+    return Setting(error, dec)
+
+
+CONFIG = AlgorithmConfig(delta=0.01, delta_prime=0.1)
+
+
+class TestBtoNormalRule:
+    def test_picks_bto_within_delta(self):
+        normal = _setting(100.0)
+        bto = _setting(100.9, "bto")
+        assert select_mode_bto_normal(normal, bto, CONFIG) is bto
+
+    def test_rejects_bto_beyond_delta(self):
+        normal = _setting(100.0)
+        bto = _setting(101.5, "bto")
+        assert select_mode_bto_normal(normal, bto, CONFIG) is normal
+
+    def test_handles_missing_bto(self):
+        normal = _setting(1.0)
+        assert select_mode_bto_normal(normal, None, CONFIG) is normal
+
+    def test_tie_prefers_bto(self):
+        normal = _setting(0.0)
+        bto = _setting(0.0, "bto")
+        assert select_mode_bto_normal(normal, bto, CONFIG) is bto
+
+
+class TestBtoNormalNdRule:
+    def test_bto_when_nd_gains_little(self):
+        normal = _setting(100.0)
+        bto = _setting(100.5, "bto")
+        nd = _setting(95.0, "nd")  # > (1 - 0.1) * 100 = 90
+        assert select_mode_bto_normal_nd(normal, bto, nd, CONFIG) is bto
+
+    def test_nd_when_gain_exceeds_delta(self):
+        normal = _setting(100.0)
+        bto = _setting(100.5, "bto")
+        nd = _setting(85.0, "nd")  # < (1 - 0.01) * 100
+        assert select_mode_bto_normal_nd(normal, bto, nd, CONFIG) is nd
+
+    def test_normal_in_between(self):
+        normal = _setting(100.0)
+        bto = _setting(150.0, "bto")  # too inaccurate for BTO
+        nd = _setting(99.5, "nd")  # not enough gain for ND
+        assert select_mode_bto_normal_nd(normal, bto, nd, CONFIG) is normal
+
+    def test_exact_normal_keeps_normal(self):
+        # E = 0: ND can never strictly improve, BTO must not be picked
+        # unless it is also exact
+        normal = _setting(0.0)
+        bto = _setting(0.1, "bto")
+        nd = _setting(0.0, "nd")
+        chosen = select_mode_bto_normal_nd(normal, bto, nd, CONFIG)
+        assert chosen is normal
+
+    def test_missing_candidates(self):
+        normal = _setting(10.0)
+        assert select_mode_bto_normal_nd(normal, None, None, CONFIG) is normal
+
+
+class TestDispatch:
+    def test_normal_architecture_passthrough(self):
+        normal = _setting(1.0)
+        assert select_mode(normal, _setting(0.9, "bto"), None, CONFIG, "normal") is normal
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            select_mode(_setting(1.0), None, None, CONFIG, "nope")
+
+    def test_dispatch_bto_normal(self):
+        normal = _setting(100.0)
+        bto = _setting(100.0, "bto")
+        assert select_mode(normal, bto, None, CONFIG, "bto-normal") is bto
+
+    def test_dispatch_bto_normal_nd(self):
+        normal = _setting(100.0)
+        nd = _setting(50.0, "nd")
+        assert select_mode(normal, None, nd, CONFIG, "bto-normal-nd") is nd

@@ -1,0 +1,175 @@
+"""Unit tests for non-disjoint decomposition (paper §IV-B1, Example 3)."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import Partition
+from repro.core import (
+    cost_vectors_fixed,
+    opt_for_part_exhaustive,
+    optimize_nondisjoint,
+    optimize_nondisjoint_shared,
+)
+from repro.metrics import distributions, med
+
+from ..conftest import random_bits
+
+
+def _costs_for(bits: np.ndarray):
+    bits = np.asarray(bits, dtype=np.int64)
+    return cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+
+
+class TestSharedBitFixed:
+    def test_error_matches_decomposition(self, rng):
+        """Reported ND error equals the MED of the built decomposition."""
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _costs_for(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        result = optimize_nondisjoint_shared(
+            costs, p, partition, n, shared=1, n_initial_patterns=10, rng=rng
+        )
+        approx = result.decomposition.evaluate(n)
+        assert result.error == pytest.approx(med(bits, approx, p))
+
+    def test_example3_structure(self, rng):
+        """Example 3's setup: A = {x4, x5}, B = {x1, x2, x3}, shared x2.
+
+        The two halves must be disjoint decompositions of the cofactors
+        on the reduced space, combined per Eq. (1).
+        """
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _costs_for(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        result = optimize_nondisjoint_shared(
+            costs, p, partition, n, shared=1, n_initial_patterns=10, rng=rng
+        )
+        dec = result.decomposition
+        assert dec.shared == 1
+        assert dec.reduced_bound == (0, 2)
+        half0, half1 = dec.halves()
+        # halves live on the 4-variable reduced space with A = {x4, x5}
+        assert half0.partition.free == (2, 3)
+        assert half0.partition.bound == (0, 1)
+        # Eq. (1): restriction to x2 = j equals half j
+        f = dec.evaluate(n)
+        for x in range(1 << n):
+            j = (x >> 1) & 1
+            reduced = (x & 1) | (((x >> 2)) << 1)
+            assert f[x] == (half1 if j else half0).evaluate(4)[reduced]
+
+    def test_rejects_nonbound_shared(self, rng):
+        bits = random_bits(4, rng)
+        costs = _costs_for(bits)
+        p = distributions.uniform(4)
+        partition = Partition((2, 3), (0, 1))
+        with pytest.raises(ValueError):
+            optimize_nondisjoint_shared(costs, p, partition, 4, shared=3, rng=rng)
+
+
+def _nd_oracle_error(costs, p, partition, n, shared):
+    """Exact optimal ND error for one shared bit (exhaustive halves)."""
+    from repro.boolean import ops
+    from repro.core import BitCosts
+
+    keep = [i for i in range(n) if i != shared]
+    reduced_words = ops.all_inputs(n - 1)
+    reduced_partition = Partition(
+        tuple(v - 1 if v > shared else v for v in partition.free),
+        tuple(v - 1 if v > shared else v for v in partition.bound if v != shared),
+    )
+    total = 0.0
+    for j in (0, 1):
+        full = ops.deposit_bits(reduced_words, keep) | (j << shared)
+        half_costs = BitCosts(0, costs.cost0[full], costs.cost1[full])
+        total += opt_for_part_exhaustive(
+            half_costs, p[full], reduced_partition, n - 1
+        ).error
+    return total
+
+
+class TestSharedBitEnumeration:
+    def test_picks_best_shared(self, rng):
+        """With generous restarts on a tiny space, the enumeration must
+        land on the exhaustive-oracle optimum over shared bits."""
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _costs_for(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        best = optimize_nondisjoint(
+            costs, p, partition, n, n_initial_patterns=64, rng=rng
+        )
+        oracle = min(
+            _nd_oracle_error(costs, p, partition, n, shared)
+            for shared in partition.bound
+        )
+        assert best.error == pytest.approx(oracle)
+
+    def test_candidate_restriction(self, rng):
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _costs_for(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        result = optimize_nondisjoint(
+            costs, p, partition, n, rng=rng, shared_candidates=[2]
+        )
+        assert result.shared == 2
+
+    def test_empty_candidates_rejected(self, rng):
+        bits = random_bits(4, rng)
+        costs = _costs_for(bits)
+        with pytest.raises(ValueError):
+            optimize_nondisjoint(
+                costs,
+                distributions.uniform(4),
+                Partition((2, 3), (0, 1)),
+                4,
+                rng=rng,
+                shared_candidates=[],
+            )
+
+
+class TestNdGeneralizesDisjoint:
+    def test_nd_at_least_as_good_as_disjoint_oracle(self, rng):
+        """ND with any shared bit can represent the disjoint optimum,
+        so the exhaustively-optimised halves must not be worse."""
+        n = 5
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        for _ in range(5):
+            bits = random_bits(n, rng)
+            costs = _costs_for(bits)
+            disjoint = opt_for_part_exhaustive(costs, p, partition, n)
+            # exhaustive halves: bound size 2 <= 4, oracle is exact
+            from repro.boolean import ops
+
+            best_nd = np.inf
+            for shared in partition.bound:
+                keep = [i for i in range(n) if i != shared]
+                reduced_words = ops.all_inputs(n - 1)
+                total = 0.0
+                for j in (0, 1):
+                    full = ops.deposit_bits(reduced_words, keep) | (j << shared)
+                    from repro.core import BitCosts
+
+                    half_costs = BitCosts(0, costs.cost0[full], costs.cost1[full])
+                    reduced_partition = Partition(
+                        tuple(v - 1 if v > shared else v for v in partition.free),
+                        tuple(
+                            v - 1 if v > shared else v
+                            for v in partition.bound
+                            if v != shared
+                        ),
+                    )
+                    half = opt_for_part_exhaustive(
+                        half_costs, p[full], reduced_partition, n - 1
+                    )
+                    total += half.error
+                best_nd = min(best_nd, total)
+            assert best_nd <= disjoint.error + 1e-9

@@ -1,0 +1,96 @@
+"""Unit tests for the MED/MSE optimisation-objective extension."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import cost_vectors_fixed, cost_vectors_predictive
+from repro.core.cost import apply_objective
+from repro.metrics import distributions, med, mse
+
+from ..conftest import random_function
+
+
+class TestApplyObjective:
+    def test_med_is_identity(self, rng):
+        target = rng.integers(0, 16, size=8)
+        costs = cost_vectors_fixed(target, np.zeros(8, dtype=np.int64), 0)
+        assert apply_objective(costs, "med") is costs
+
+    def test_mse_squares(self, rng):
+        target = rng.integers(0, 16, size=8)
+        costs = cost_vectors_fixed(target, np.zeros(8, dtype=np.int64), 0)
+        squared = apply_objective(costs, "mse")
+        np.testing.assert_array_equal(squared.cost0, np.square(costs.cost0))
+        np.testing.assert_array_equal(squared.cost1, np.square(costs.cost1))
+
+    def test_unknown_objective(self, rng):
+        costs = cost_vectors_fixed(
+            np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64), 0
+        )
+        with pytest.raises(ValueError, match="objective"):
+            apply_objective(costs, "mae")
+
+    def test_predictive_mse_is_bruteforce_min(self, rng):
+        """min over LSBs of (Ŷ−Y)² equals the squared interval distance."""
+        m, n, k = 5, 4, 2
+        target = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        msb = rng.integers(0, 1 << m, size=1 << n).astype(np.int64)
+        msb &= ~np.int64((1 << (k + 1)) - 1)
+        squared = apply_objective(cost_vectors_predictive(target, msb, k), "mse")
+        for x in range(1 << n):
+            for j, vec in ((0, squared.cost0), (1, squared.cost1)):
+                y_hat_m = int(msb[x]) + (j << k)
+                best = min(
+                    (y_hat_m + lsb - int(target[x])) ** 2 for lsb in range(1 << k)
+                )
+                assert vec[x] == best
+
+
+class TestObjectiveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            repro.AlgorithmConfig(objective="mae")
+
+    def test_default_is_med(self):
+        assert repro.AlgorithmConfig().objective == "med"
+
+
+class TestObjectiveInAlgorithms:
+    def test_bssa_runs_with_mse(self, rng):
+        from dataclasses import replace
+
+        f = random_function(6, 4, rng)
+        config = replace(repro.AlgorithmConfig.fast(seed=1), objective="mse")
+        result = repro.run_bssa(f, config, rng=rng)
+        assert result.sequence.is_complete()
+        # result.med is always the true MED, regardless of objective
+        assert result.med == pytest.approx(
+            med(f, result.approx_function, distributions.uniform(6))
+        )
+
+    def test_dalta_runs_with_mse(self, rng):
+        from dataclasses import replace
+
+        f = random_function(6, 3, rng)
+        config = replace(repro.AlgorithmConfig.fast(seed=1), objective="mse")
+        result = repro.run_dalta(f, config, rng=rng)
+        assert result.sequence.is_complete()
+
+    def test_recorded_errors_are_in_objective_units(self, rng):
+        """Under MSE the per-bit recorded errors are squared-distance
+        sums — they must match a recomputation through the cost model."""
+        from dataclasses import replace
+
+        from repro.core import rest_word
+
+        f = random_function(6, 3, rng)
+        config = replace(repro.AlgorithmConfig.fast(seed=2), objective="mse")
+        result = repro.run_bssa(f, config, rng=rng)
+        p = distributions.uniform(6)
+        k = f.n_outputs - 1
+        rest = result.sequence.rest_word(f, k)
+        costs = apply_objective(cost_vectors_fixed(f, rest, k), "mse")
+        setting = result.sequence[k]
+        recomputed = costs.evaluate(setting.decomposition.evaluate(6), p)
+        assert setting.error == pytest.approx(recomputed)

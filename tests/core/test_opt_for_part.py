@@ -1,0 +1,171 @@
+"""Unit tests for the OptForPart kernel."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import Partition, RowType, find_exact_decomposition
+from repro.core import (
+    BitCosts,
+    cost_vectors_fixed,
+    opt_for_part,
+    opt_for_part_bto,
+    opt_for_part_exhaustive,
+)
+from repro.metrics import distributions
+
+from ..conftest import random_bits
+
+
+def _single_bit_costs(bits: np.ndarray) -> BitCosts:
+    """Costs for approximating a 1-output function directly."""
+    bits = np.asarray(bits, dtype=np.int64)
+    return cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+
+
+class TestConsistency:
+    def test_reported_error_matches_decomposition(self, rng):
+        """E must equal the recomputed weighted cost of (ω, V, T)."""
+        n = 6
+        p = distributions.uniform(n)
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        partition = Partition((3, 4, 5), (0, 1, 2))
+        result = opt_for_part(
+            costs, p, partition, n, n_initial_patterns=8, rng=rng
+        )
+        recomputed = costs.evaluate(result.decomposition.evaluate(n), p)
+        assert result.error == pytest.approx(recomputed)
+
+    def test_error_bounded_by_input_size(self, rng):
+        n = 5
+        p = distributions.uniform(n)
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        partition = Partition((2, 3, 4), (0, 1))
+        result = opt_for_part(costs, p, partition, n, rng=rng)
+        assert 0.0 <= result.error <= 1.0
+
+    def test_decomposable_function_reaches_zero(self, rng):
+        """When an exact decomposition exists, OptForPart must find E=0."""
+        from repro.boolean import DisjointDecomposition
+
+        partition = Partition((3, 4, 5), (0, 1, 2))
+        pattern = rng.integers(0, 2, size=8).astype(np.uint8)
+        pattern[0] = 1  # ensure non-constant structure survives
+        types = rng.integers(1, 5, size=8).astype(np.int8)
+        bits = DisjointDecomposition(partition, pattern, types).evaluate(6)
+        costs = _single_bit_costs(bits)
+        p = distributions.uniform(6)
+        result = opt_for_part(
+            costs, p, partition, 6, n_initial_patterns=20, rng=rng
+        )
+        assert result.error == pytest.approx(0.0)
+        assert result.decomposition.evaluate(6).tolist() == bits.tolist()
+
+
+class TestAgainstExhaustiveOracle:
+    def test_never_beats_oracle(self, rng):
+        n = 5
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        for _ in range(5):
+            bits = random_bits(n, rng)
+            costs = _single_bit_costs(bits)
+            heuristic = opt_for_part(
+                costs, p, partition, n, n_initial_patterns=10, rng=rng
+            )
+            oracle = opt_for_part_exhaustive(costs, p, partition, n)
+            assert heuristic.error >= oracle.error - 1e-12
+
+    def test_usually_matches_oracle(self, rng):
+        """With generous restarts the alternation finds the optimum."""
+        n = 5
+        p = distributions.uniform(n)
+        partition = Partition((2, 3, 4), (0, 1))
+        hits = 0
+        trials = 10
+        for _ in range(trials):
+            bits = random_bits(n, rng)
+            costs = _single_bit_costs(bits)
+            heuristic = opt_for_part(
+                costs, p, partition, n, n_initial_patterns=16, rng=rng
+            )
+            oracle = opt_for_part_exhaustive(costs, p, partition, n)
+            if heuristic.error <= oracle.error + 1e-12:
+                hits += 1
+        assert hits >= trials - 2
+
+    def test_exhaustive_refuses_large_bound(self, rng):
+        costs = _single_bit_costs(random_bits(6, rng))
+        with pytest.raises(ValueError, match="refused"):
+            opt_for_part_exhaustive(
+                costs, distributions.uniform(6), Partition((5,), (0, 1, 2, 3, 4)), 6
+            )
+
+
+class TestBtoVariant:
+    def test_types_all_pattern(self, rng):
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        result = opt_for_part_bto(costs, p, partition, n)
+        assert np.all(result.decomposition.types == RowType.PATTERN)
+        assert result.decomposition.mode == "bto"
+
+    def test_bto_is_exact_per_column(self, rng):
+        """The BTO optimum is the true optimum among all-type-3 settings."""
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        result = opt_for_part_bto(costs, p, partition, n)
+        # enumerate all 2^8 pattern vectors
+        best = np.inf
+        for v in range(1 << partition.n_cols):
+            pattern = np.array(
+                [(v >> c) & 1 for c in range(partition.n_cols)], dtype=np.uint8
+            )
+            from repro.boolean import BoundOnlyDecomposition
+
+            candidate = BoundOnlyDecomposition(partition, pattern)
+            best = min(best, costs.evaluate(candidate.evaluate(n), p))
+        assert result.error == pytest.approx(best)
+
+    def test_bto_never_better_than_normal_oracle(self, rng):
+        n = 5
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        p = distributions.uniform(n)
+        partition = Partition((3, 4), (0, 1, 2))
+        bto = opt_for_part_bto(costs, p, partition, n)
+        oracle = opt_for_part_exhaustive(costs, p, partition, n)
+        assert bto.error >= oracle.error - 1e-12
+
+
+class TestParameters:
+    def test_rejects_zero_patterns(self, rng):
+        costs = _single_bit_costs(random_bits(4, rng))
+        with pytest.raises(ValueError):
+            opt_for_part(
+                costs,
+                distributions.uniform(4),
+                Partition((2, 3), (0, 1)),
+                4,
+                n_initial_patterns=0,
+                rng=rng,
+            )
+
+    def test_weighted_distribution_respected(self, rng):
+        """Inputs with zero probability should not constrain the fit."""
+        n = 4
+        bits = random_bits(n, rng)
+        costs = _single_bit_costs(bits)
+        partition = Partition((2, 3), (0, 1))
+        # all mass on inputs where the function is 0
+        p = np.where(bits == 0, 1.0, 0.0)
+        p = p / p.sum()
+        result = opt_for_part(costs, p, partition, n, rng=rng)
+        assert result.error == pytest.approx(0.0)

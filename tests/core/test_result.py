@@ -1,0 +1,69 @@
+"""Unit tests for result containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import SearchStats
+from repro.core.result import ApproximationResult
+
+from ..conftest import random_function
+
+
+class TestSearchStats:
+    def test_merge(self):
+        a = SearchStats(opt_for_part_calls=3, partitions_visited=2)
+        b = SearchStats(opt_for_part_calls=5, sa_iterations=7, nd_optimizations=1)
+        a.merge(b)
+        assert a.opt_for_part_calls == 8
+        assert a.partitions_visited == 2
+        assert a.sa_iterations == 7
+        assert a.nd_optimizations == 1
+
+
+class TestApproximationResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        target = random_function(6, 3, np.random.default_rng(0), name="res")
+        return repro.run_bssa(
+            target, repro.AlgorithmConfig.fast(seed=5), rng=np.random.default_rng(1)
+        )
+
+    def test_approx_function_consistent(self, result):
+        approx = result.approx_function
+        assert approx.n_inputs == result.target.n_inputs
+        assert approx.n_outputs == result.target.n_outputs
+
+    def test_per_bit_errors(self, result):
+        errors = result.per_bit_errors()
+        assert len(errors) == 3
+        assert all(not math.isnan(e) for e in errors)
+        assert all(e >= 0 for e in errors)
+
+    def test_error_report_matches_med(self, result):
+        report = result.error_report()
+        assert report.med == pytest.approx(result.med)
+
+    def test_mode_counts_total(self, result):
+        assert sum(result.mode_counts().values()) == 3
+
+    def test_repr(self, result):
+        text = repr(result)
+        assert "bs-sa" in text
+        assert "res" in text
+
+    def test_incomplete_sequence_reports_nan(self):
+        from repro.core import SettingSequence
+
+        target = random_function(4, 2, np.random.default_rng(0))
+        partial = ApproximationResult(
+            algorithm="manual",
+            target=target,
+            sequence=SettingSequence(2),
+            med=0.0,
+            elapsed_seconds=0.0,
+        )
+        errors = partial.per_bit_errors()
+        assert all(math.isnan(e) for e in errors)

@@ -1,0 +1,91 @@
+"""Unit tests for configuration serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import serialize
+from repro.core.settings import Setting
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 4, rng, name="ser")
+    config = repro.AlgorithmConfig.fast(seed=8)
+    lut = repro.approximate(target, architecture="bto-normal-nd", config=config)
+    return target, lut
+
+
+class TestSettingRoundTrip:
+    def test_all_modes_roundtrip(self, compiled):
+        target, lut = compiled
+        for setting in lut.sequence.settings:
+            payload = serialize.setting_to_dict(setting)
+            rebuilt = serialize.setting_from_dict(payload)
+            assert rebuilt.mode == setting.mode
+            assert rebuilt.error == pytest.approx(setting.error)
+            np.testing.assert_array_equal(
+                rebuilt.bits(target.n_inputs), setting.bits(target.n_inputs)
+            )
+
+    def test_payload_is_json_safe(self, compiled):
+        _, lut = compiled
+        for setting in lut.sequence.settings:
+            json.dumps(serialize.setting_to_dict(setting))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            serialize.setting_from_dict(
+                {"error": 0, "mode": "quantum", "free": [1], "bound": [0]}
+            )
+
+
+class TestDocumentRoundTrip:
+    def test_dumps_loads(self, compiled):
+        target, lut = compiled
+        text = serialize.dumps(lut)
+        reloaded = serialize.loads(text, target)
+        assert reloaded.architecture == lut.architecture
+        assert reloaded.med == pytest.approx(lut.med)
+        np.testing.assert_array_equal(
+            reloaded.approx_function.table, lut.approx_function.table
+        )
+
+    def test_file_round_trip(self, compiled, tmp_path):
+        target, lut = compiled
+        path = tmp_path / "config.json"
+        serialize.save(lut, str(path))
+        reloaded = serialize.load(str(path), target)
+        assert reloaded.mode_counts() == lut.mode_counts()
+
+    def test_shape_mismatch_rejected(self, compiled):
+        target, lut = compiled
+        wrong = random_function(5, 4, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            serialize.loads(serialize.dumps(lut), wrong)
+
+    def test_bad_format_rejected(self, compiled):
+        target, _ = compiled
+        with pytest.raises(ValueError, match="not a"):
+            serialize.loads(json.dumps({"format": "other"}), target)
+
+    def test_bad_version_rejected(self, compiled):
+        target, lut = compiled
+        payload = json.loads(serialize.dumps(lut))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            serialize.loads(json.dumps(payload), target)
+
+    def test_reloaded_lut_builds_hardware(self, compiled, tmp_path):
+        target, lut = compiled
+        path = tmp_path / "config.json"
+        serialize.save(lut, str(path))
+        reloaded = serialize.load(str(path), target)
+        from repro.hardware import verify_design
+
+        assert verify_design(reloaded.hardware(), n_vectors=64).passed

@@ -1,0 +1,42 @@
+"""Unit tests for the ablation harness."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_ablation
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return ExperimentScale.smoke()
+
+
+class TestAblations:
+    def test_predictive_model(self, smoke):
+        result = run_ablation("predictive_model", smoke, base_seed=0)
+        assert result.variants == ["predictive", "accurate-lsb"]
+        assert set(result.rows) == {"cos", "multiplier"}
+        geo = result.geomeans()
+        assert geo["predictive"]["avg"] > 0
+
+    def test_beam_width(self, smoke):
+        result = run_ablation("beam_width", smoke, base_seed=0, beam_widths=(1, 2))
+        assert result.variants == ["n_beam=1", "n_beam=2"]
+
+    def test_partition_search(self, smoke):
+        result = run_ablation("partition_search", smoke, base_seed=0)
+        assert result.variants == ["sa", "random"]
+        for bench in result.rows.values():
+            assert bench["sa"]["avg"] > 0
+            assert bench["random"]["avg"] > 0
+
+    def test_unknown_name(self, smoke):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            run_ablation("moon_phase", smoke)
+
+    def test_render_and_dict(self, smoke):
+        result = run_ablation("predictive_model", smoke, base_seed=1)
+        text = result.render()
+        assert "Ablation: predictive_model" in text
+        assert "GEOMEAN" in text
+        payload = result.as_dict()
+        assert payload["ablation"] == "predictive_model"

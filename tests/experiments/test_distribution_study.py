@@ -1,0 +1,48 @@
+"""Unit tests for the distribution-sensitivity study."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_distribution_study
+from repro.experiments.distribution_study import DISTRIBUTIONS, _make_distribution
+
+
+class TestDistributionFactory:
+    @pytest.mark.parametrize("name", DISTRIBUTIONS)
+    def test_builds_valid_distributions(self, name):
+        p = _make_distribution(name, 6)
+        assert p.shape == (64,)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            _make_distribution("zipf", 6)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_distribution_study(
+            ExperimentScale.smoke(),
+            benchmark="cos",
+            distribution_names=("uniform", "sparse-bits"),
+            budgets=(2, 8),
+            base_seed=0,
+        )
+
+    def test_grid_complete(self, result):
+        assert set(result.rows) == {"uniform", "sparse-bits"}
+        for meds in result.rows.values():
+            assert len(meds) == 2
+
+    def test_improvement_metric(self, result):
+        for name in result.rows:
+            gain = result.improvement(name)
+            assert -2.0 < gain <= 1.0
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "Distribution-sensitivity" in text
+        assert "P=2" in text and "P=8" in text
+        payload = result.as_dict()
+        assert payload["budgets"] == [2, 8]
+        assert "improvement" in payload

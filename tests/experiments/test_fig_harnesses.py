@@ -1,0 +1,120 @@
+"""Unit tests for the Fig. 5 / Fig. 6 harnesses."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.fig5 import ARCHITECTURE_ORDER, _tune_roundin, _tune_roundout
+from repro.metrics import med
+from repro.workloads import get
+
+
+class TestRoundTuning:
+    def test_roundout_exceeds_reference(self):
+        target = get("cos", 8)
+        reference = 3.0
+        design = _tune_roundout(target, reference)
+        assert med(target.table, design.approx_table()) > reference
+
+    def test_roundout_caps_at_max_q(self):
+        target = get("cos", 8)
+        design = _tune_roundout(target, 1e9)
+        assert design.q == target.n_outputs - 1
+
+    def test_roundin_closest_med(self):
+        target = get("cos", 8)
+        reference = med(target.table, _tune_roundin(target, 4.0).approx_table())
+        # the chosen w must be within one step of the reference in log space
+        assert reference > 0
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(ExperimentScale.smoke(), base_seed=0)
+
+    def test_all_architectures_present(self, result):
+        for bench in result.per_benchmark.values():
+            assert set(bench) == set(ARCHITECTURE_ORDER)
+
+    def test_functional_verification_passes(self, result):
+        assert result.all_verified()
+
+    def test_normalization_reference_is_one(self, result):
+        norm = result.normalized()
+        for metric in ("med", "area", "latency", "energy"):
+            assert norm[metric]["dalta"] == pytest.approx(1.0)
+
+    def test_roundout_worse_than_dalta(self, result):
+        """The paper's explicit construction: RoundOut has larger MED."""
+        for bench in result.per_benchmark.values():
+            assert bench["roundout"].med > bench["dalta"].med
+
+    def test_nd_architecture_larger_area(self, result):
+        norm = result.normalized()
+        assert norm["area"]["bto-normal-nd"] > 1.0
+
+    def test_positive_metrics(self, result):
+        for bench in result.per_benchmark.values():
+            for metrics in bench.values():
+                assert metrics.area > 0
+                assert metrics.latency > 0
+                assert metrics.energy > 0
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "Fig. 5" in text
+        assert "paper: 10.4%" in text
+        payload = result.as_dict()
+        assert "normalized_geomeans" in payload
+        assert "headline" in payload
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6("cos", ExperimentScale.smoke(), base_seed=0)
+
+    def test_points_cover_mode_space(self, result):
+        assert len(result.points) >= 2
+        for pt in result.points:
+            assert sum(pt.modes) == 8  # 8 output bits at smoke scale
+
+    def test_walk_trends_down_in_error(self, result):
+        """Upgrades are picked by per-bit candidate error; the realized
+        MED can wiggle slightly from bit interactions but must trend
+        down overall."""
+        meds = [pt.med for pt in result.points]
+        assert meds[-1] < meds[0]
+        increases = sum(1 for a, b in zip(meds, meds[1:]) if b > a + 1e-9)
+        assert increases <= max(1, len(meds) // 3)
+
+    def test_energy_increases_along_walk(self, result):
+        energies = [pt.energy_fj for pt in result.points]
+        # upgrades activate more hardware; allow tiny non-monotonicity
+        # from data-dependent mux activity
+        assert energies[-1] > energies[0]
+
+    def test_dalta_reference_present(self, result):
+        assert result.dalta_med > 0
+        assert result.dalta_energy_fj > 0
+
+    def test_pareto_front_is_nondominated(self, result):
+        front = result.pareto_front()
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not (
+                        b.med <= a.med and b.energy_fj <= a.energy_fj
+                    ) or (b.med == a.med and b.energy_fj == a.energy_fj)
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "Fig. 6" in text
+        assert "DALTA reference" in text
+        payload = result.as_dict()
+        assert payload["benchmark"] == "cos"
+        assert len(payload["points"]) == len(result.points)

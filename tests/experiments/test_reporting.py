@@ -1,0 +1,81 @@
+"""Unit tests for the reporting helpers."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import reporting
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert reporting.geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_zero_floored(self):
+        value = reporting.geomean([0.0, 1.0])
+        assert value == pytest.approx(math.sqrt(1e-12))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reporting.geomean([])
+
+
+class TestNormalize:
+    def test_divides_by_reference(self):
+        values = {"a": 2.0, "b": 4.0}
+        normalized = reporting.normalize_to(values, "a")
+        assert normalized == {"a": 1.0, "b": 2.0}
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            reporting.normalize_to({"a": 0.0}, "a")
+
+
+class TestFormatting:
+    def test_format_value_floats(self):
+        assert reporting.format_value(0.0) == "0"
+        assert reporting.format_value(1.2345678) == "1.235"
+        assert "e" in reporting.format_value(123456.0)
+        assert "e" in reporting.format_value(0.0001)
+
+    def test_format_value_other(self):
+        assert reporting.format_value("abc") == "abc"
+        assert reporting.format_value(42) == "42"
+
+    def test_format_table_alignment(self):
+        text = reporting.format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+
+class TestSummarizeRuns:
+    def test_statistics(self):
+        stats = reporting.summarize_runs([1.0, 2.0, 3.0])
+        assert stats["min"] == 1.0
+        assert stats["avg"] == pytest.approx(2.0)
+        assert stats["stdev"] == pytest.approx(math.sqrt(2 / 3))
+
+    def test_single_run(self):
+        stats = reporting.summarize_runs([5.0])
+        assert stats == {"min": 5.0, "avg": 5.0, "stdev": 0.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reporting.summarize_runs([])
+
+
+class TestToJson:
+    def test_serialises(self):
+        text = reporting.to_json({"b": 1, "a": [1, 2]})
+        assert json.loads(text) == {"a": [1, 2], "b": 1}
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        reporting.to_json({"x": 1}, str(path))
+        assert json.loads(path.read_text()) == {"x": 1}

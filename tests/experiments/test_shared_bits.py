@@ -1,0 +1,39 @@
+"""Unit tests for the shared-bits extension study."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_shared_bits_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_shared_bits_study(
+        ExperimentScale.smoke(), benchmarks=("cos",), base_seed=0
+    )
+
+
+class TestSharedBitsStudy:
+    def test_all_sizes_present(self, result):
+        points = result.rows["cos"]
+        assert [pt.n_shared for pt in points] == [0, 1, 2]
+
+    def test_all_verified(self, result):
+        assert all(pt.verified for pt in result.rows["cos"])
+
+    def test_cost_grows_with_shared_bits(self, result):
+        points = {pt.n_shared: pt for pt in result.rows["cos"]}
+        assert points[0].lut_bits < points[1].lut_bits < points[2].lut_bits
+        assert points[0].area_um2 < points[1].area_um2 < points[2].area_um2
+
+    def test_error_trend(self, result):
+        """Error improves (or holds) as sharing grows, per-benchmark noise
+        aside: the aggregate geomean must strictly improve s=0 -> s=2."""
+        assert result.geomean_med(2) < result.geomean_med(0)
+
+    def test_render_and_dict(self, result):
+        text = result.render()
+        assert "Shared-bits study" in text
+        assert "geomean MED by s" in text
+        payload = result.as_dict()
+        assert "cos" in payload["rows"]
+        assert len(payload["rows"]["cos"]) == 3

@@ -1,0 +1,58 @@
+"""Unit tests for the user-facing sweep_tradeoff API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments import sweep_tradeoff
+
+from ..conftest import random_function
+
+
+class TestSweepTradeoff:
+    @pytest.fixture(scope="class")
+    def result(self):
+        target = random_function(6, 4, np.random.default_rng(3), name="sweep")
+        config = repro.AlgorithmConfig.fast(seed=1)
+        return sweep_tradeoff(target, config, base_seed=0)
+
+    def test_points_exist(self, result):
+        assert len(result.points) >= 2
+        for pt in result.points:
+            assert sum(pt.modes) == 4
+
+    def test_no_reference_means_zero_dalta(self, result):
+        assert result.dalta_med == 0.0
+        assert result.dalta_energy_fj == 0.0
+
+    def test_with_reference(self):
+        target = random_function(6, 3, np.random.default_rng(4), name="ref")
+        config = repro.AlgorithmConfig.fast(seed=1)
+        baseline = repro.run_dalta(target, config, rng=np.random.default_rng(0))
+        result = sweep_tradeoff(
+            target, config, dalta_reference=baseline.sequence, base_seed=0
+        )
+        assert result.dalta_med == pytest.approx(baseline.med)
+        assert result.dalta_energy_fj > 0
+
+    def test_pareto_subset_of_points(self, result):
+        front = result.pareto_front()
+        assert set(id(pt) for pt in front) <= set(id(pt) for pt in result.points)
+
+
+class TestDescribe:
+    def test_describe_renders_expressions(self):
+        target = random_function(5, 2, np.random.default_rng(5), name="desc")
+        config = repro.AlgorithmConfig.fast(seed=2)
+        lut = repro.approximate(target, config=config)
+        text = lut.describe()
+        assert "output bit y1" in text
+        assert "output bit y2" in text
+        assert "MED" in text
+
+    def test_describe_summarises_wide_tables(self):
+        target = random_function(5, 2, np.random.default_rng(5), name="desc")
+        config = repro.AlgorithmConfig.fast(seed=2)
+        lut = repro.approximate(target, config=config)
+        text = lut.describe(max_terms_bits=0)
+        assert "LUT bits" in text

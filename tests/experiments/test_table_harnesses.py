@@ -1,0 +1,68 @@
+"""Unit tests for the Table I / Table II harnesses."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_table1,
+    run_table2,
+)
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        result = run_table1(n_inputs=8)
+        assert len(result.rows) == 10
+        text = result.render()
+        assert "brent-kung" in text
+        assert "denoise" in text
+
+    def test_as_dict(self):
+        payload = run_table1(8, build=False).as_dict()
+        assert payload["n_inputs"] == 8
+        assert len(payload["rows"]) == 10
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(ExperimentScale.smoke(), base_seed=0)
+
+    def test_row_per_benchmark(self, result):
+        assert {row.benchmark for row in result.rows} == {"cos", "multiplier"}
+
+    def test_statistics_sane(self, result):
+        for row in result.rows:
+            for stats in (row.dalta, row.bssa):
+                assert stats["min"] <= stats["avg"]
+                assert stats["stdev"] >= 0
+            assert row.dalta_time > 0
+            assert row.bssa_time > 0
+
+    def test_geomeans_keys(self, result):
+        g = result.geomeans()
+        assert {
+            "dalta_min",
+            "dalta_avg",
+            "dalta_stdev",
+            "dalta_time",
+            "bssa_min",
+            "bssa_avg",
+            "bssa_stdev",
+            "bssa_time",
+        } <= set(g)
+
+    def test_improvement_between_minus1_and_1(self, result):
+        for value in result.improvement().values():
+            assert -5.0 < value < 1.0
+
+    def test_render_contains_geomean(self, result):
+        text = result.render()
+        assert "GEOMEAN" in text
+        assert "BS-SA vs DALTA" in text
+
+    def test_as_dict_roundtrip(self, result):
+        payload = result.as_dict()
+        assert payload["n_runs"] == 2
+        assert len(payload["rows"]) == 2
+        assert "improvement" in payload

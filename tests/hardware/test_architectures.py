@@ -1,0 +1,197 @@
+"""Unit tests for the architecture generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_bssa, run_dalta
+from repro.hardware import (
+    BtoNormalDesign,
+    BtoNormalNdDesign,
+    DaltaDesign,
+    ExactLutDesign,
+    RoundInDesign,
+    RoundOutDesign,
+    ToggleLedger,
+    build_architecture,
+)
+from repro.metrics import med
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """One BS-SA compilation reused across the architecture tests."""
+    rng = np.random.default_rng(0)
+    target = random_function(6, 4, rng, name="arch-target")
+    from repro.core import AlgorithmConfig
+
+    config = AlgorithmConfig.fast(seed=2)
+    normal = run_bssa(target, config, rng=np.random.default_rng(1))
+    nd = run_bssa(
+        target, config, rng=np.random.default_rng(2), architecture="bto-normal-nd"
+    )
+    bto = run_bssa(
+        target, config, rng=np.random.default_rng(3), architecture="bto-normal"
+    )
+    return target, normal, bto, nd
+
+
+def _functional_check(design):
+    words = np.arange(design.target.size, dtype=np.int64)
+    ledger = ToggleLedger()
+    out = design.simulate(words, ledger)
+    expected = design.approx_table()
+    np.testing.assert_array_equal(out, expected)
+    return ledger
+
+
+class TestDaltaDesign:
+    def test_functional_equivalence(self, compiled):
+        target, normal, _, _ = compiled
+        design = DaltaDesign("d", target, normal.sequence)
+        _functional_check(design)
+
+    def test_approx_table_matches_sequence(self, compiled):
+        target, normal, _, _ = compiled
+        design = DaltaDesign("d", target, normal.sequence)
+        expected = normal.sequence.approx_function(target).table
+        np.testing.assert_array_equal(design.approx_table(), expected)
+
+    def test_rejects_incomplete_sequence(self, compiled):
+        target, normal, _, _ = compiled
+        from repro.core import SettingSequence
+
+        with pytest.raises(ValueError, match="every output bit"):
+            DaltaDesign("d", target, SettingSequence(target.n_outputs))
+
+    def test_rejects_bto_settings(self, compiled):
+        target, _, bto, _ = compiled
+        if "bto" in bto.sequence.mode_counts():
+            with pytest.raises(ValueError):
+                DaltaDesign("d", target, bto.sequence)
+
+    def test_storage_far_below_exact(self, compiled):
+        target, normal, _, _ = compiled
+        design = DaltaDesign("d", target, normal.sequence)
+        exact = ExactLutDesign(target)
+        assert design.storage_bits() < exact.storage_bits()
+
+    def test_report_text(self, compiled):
+        target, normal, _, _ = compiled
+        text = DaltaDesign("d", target, normal.sequence).report()
+        assert "area" in text and "critical path" in text
+
+
+class TestBtoNormalDesign:
+    def test_functional_equivalence(self, compiled):
+        target, _, bto, _ = compiled
+        design = BtoNormalDesign("b", target, bto.sequence)
+        _functional_check(design)
+
+    def test_hosts_plain_normal_sequences(self, compiled):
+        target, normal, _, _ = compiled
+        design = BtoNormalDesign("b", target, normal.sequence)
+        _functional_check(design)
+
+    def test_has_gates_and_muxes(self, compiled):
+        target, _, bto, _ = compiled
+        census = BtoNormalDesign("b", target, bto.sequence).census()
+        m = target.n_outputs
+        assert census["CLKGATE_X1"] == m
+
+
+class TestBtoNormalNdDesign:
+    def test_functional_equivalence(self, compiled):
+        target, _, _, nd = compiled
+        design = BtoNormalNdDesign("n", target, nd.sequence)
+        _functional_check(design)
+
+    def test_two_gates_per_bit(self, compiled):
+        target, _, _, nd = compiled
+        census = BtoNormalNdDesign("n", target, nd.sequence).census()
+        assert census["CLKGATE_X1"] == 2 * target.n_outputs
+
+    def test_area_exceeds_dalta(self, compiled):
+        """The paper's +29%: two free tables cost area."""
+        target, normal, _, nd = compiled
+        dalta = DaltaDesign("d", target, normal.sequence)
+        nd_design = BtoNormalNdDesign("n", target, nd.sequence)
+        assert nd_design.area_um2() > dalta.area_um2()
+
+    def test_hosts_normal_sequences(self, compiled):
+        target, normal, _, _ = compiled
+        design = BtoNormalNdDesign("n", target, normal.sequence)
+        _functional_check(design)
+
+
+class TestMonolithicDesigns:
+    def test_exact_lut_is_exact(self, compiled):
+        target, _, _, _ = compiled
+        design = ExactLutDesign(target)
+        np.testing.assert_array_equal(design.approx_table(), target.table)
+        _functional_check(design)
+
+    def test_roundout_truncates(self, compiled):
+        target, _, _, _ = compiled
+        design = RoundOutDesign(target, q=2)
+        expected = (target.table >> 2) << 2
+        np.testing.assert_array_equal(design.approx_table(), expected)
+        _functional_check(design)
+
+    def test_roundout_med_grows_with_q(self, compiled):
+        target, _, _, _ = compiled
+        meds = [
+            med(target.table, RoundOutDesign(target, q).approx_table())
+            for q in (1, 2, 3)
+        ]
+        assert meds == sorted(meds)
+
+    def test_roundout_validates_q(self, compiled):
+        target, _, _, _ = compiled
+        with pytest.raises(ValueError):
+            RoundOutDesign(target, 0)
+        with pytest.raises(ValueError):
+            RoundOutDesign(target, target.n_outputs)
+
+    def test_roundin_block_median(self):
+        from repro.boolean import BooleanFunction
+
+        table = np.array([0, 10, 20, 30, 1, 1, 1, 9])
+        target = BooleanFunction(3, 5, table)
+        design = RoundInDesign(target, w=2)
+        # block medians: sorted([0,10,20,30])[2] = 20, sorted([1,1,1,9])[2] = 1
+        assert design.ram.contents.tolist() == [20, 1]
+        assert design.approx_table().tolist() == [20] * 4 + [1] * 4
+        _functional_check(design)
+
+    def test_roundin_validates_w(self, compiled):
+        target, _, _, _ = compiled
+        with pytest.raises(ValueError):
+            RoundInDesign(target, 0)
+
+    def test_roundin_storage_shrinks(self, compiled):
+        target, _, _, _ = compiled
+        design = RoundInDesign(target, w=2)
+        assert design.storage_bits() == ExactLutDesign(target).storage_bits() // 4
+
+
+class TestBuildArchitecture:
+    def test_dispatch(self, compiled):
+        target, normal, _, nd = compiled
+        assert isinstance(
+            build_architecture("dalta", target, normal.sequence), DaltaDesign
+        )
+        assert isinstance(
+            build_architecture("bto-normal", target, normal.sequence),
+            BtoNormalDesign,
+        )
+        assert isinstance(
+            build_architecture("bto-normal-nd", target, nd.sequence),
+            BtoNormalNdDesign,
+        )
+
+    def test_unknown(self, compiled):
+        target, normal, _, _ = compiled
+        with pytest.raises(ValueError):
+            build_architecture("fpga", target, normal.sequence)

@@ -1,0 +1,54 @@
+"""Unit tests for the cell library model."""
+
+import pytest
+
+from repro.hardware import NANGATE45, Cell, CellLibrary
+
+
+class TestCell:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", -1.0, 0.0, 0.0, 0.0)
+
+
+class TestCellLibrary:
+    def test_default_library_has_core_cells(self):
+        for name in ("DFF_X1", "MUX2_X1", "BUF_X2", "CLKGATE_X1", "INV_X1"):
+            assert name in NANGATE45
+
+    def test_unknown_cell_message(self):
+        with pytest.raises(KeyError, match="available"):
+            NANGATE45["WARPDRIVE_X1"]
+
+    def test_area_rollup(self):
+        census = {"DFF_X1": 2, "MUX2_X1": 3}
+        expected = 2 * NANGATE45["DFF_X1"].area_um2 + 3 * NANGATE45["MUX2_X1"].area_um2
+        assert NANGATE45.area_um2(census) == pytest.approx(expected)
+
+    def test_leakage_rollup(self):
+        census = {"INV_X1": 10}
+        assert NANGATE45.leakage_nw(census) == pytest.approx(
+            10 * NANGATE45["INV_X1"].leakage_nw
+        )
+
+    def test_dynamic_energy_rollup(self):
+        toggles = {"MUX2_X1": 100.0}
+        assert NANGATE45.dynamic_energy_fj(toggles) == pytest.approx(
+            100 * NANGATE45["MUX2_X1"].energy_fj
+        )
+
+    def test_delay_stages(self):
+        single = NANGATE45.delay_ps("MUX2_X1")
+        assert NANGATE45.delay_ps("MUX2_X1", stages=4) == pytest.approx(4 * single)
+
+    def test_custom_library(self):
+        lib = CellLibrary("tiny", {"X": Cell("X", 1, 1, 1, 1)})
+        assert lib.area_um2({"X": 5}) == 5
+        assert "X" in lib
+
+    def test_dff_is_largest_cell(self):
+        """The DFF dominating area is what makes LUT size the area driver."""
+        dff = NANGATE45["DFF_X1"].area_um2
+        for name, cell in NANGATE45.cells.items():
+            if name != "DFF_X1":
+                assert cell.area_um2 < dff

@@ -1,0 +1,76 @@
+"""Unit tests for the structural design export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmConfig, run_bssa
+from repro.hardware import (
+    BtoNormalNdDesign,
+    DaltaDesign,
+    ExactLutDesign,
+    design_to_dict,
+    export_design,
+)
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def designs():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 3, rng, name="exp")
+    config = AlgorithmConfig.fast(seed=1)
+    normal = run_bssa(target, config, rng=np.random.default_rng(1))
+    nd = run_bssa(
+        target, config, rng=np.random.default_rng(2), architecture="bto-normal-nd"
+    )
+    return {
+        "dalta": DaltaDesign("d", target, normal.sequence),
+        "nd": BtoNormalNdDesign("n", target, nd.sequence),
+        "exact": ExactLutDesign(target),
+    }
+
+
+class TestDesignToDict:
+    def test_top_level_fields(self, designs):
+        payload = design_to_dict(designs["dalta"])
+        assert payload["format"] == "repro-design"
+        assert payload["n_inputs"] == 6
+        assert payload["n_outputs"] == 3
+        assert payload["area_um2"] == pytest.approx(designs["dalta"].area_um2())
+
+    def test_units_listed(self, designs):
+        payload = design_to_dict(designs["dalta"])
+        assert len(payload["units"]) == 3
+        unit = payload["units"][0]
+        assert unit["mode"] in ("normal", "bto", "nd")
+        block_types = {b["type"] for b in unit["blocks"]}
+        assert {"RoutingBox", "LutRam"} <= block_types
+
+    def test_nd_units_have_two_free_tables(self, designs):
+        payload = design_to_dict(designs["nd"])
+        for unit in payload["units"]:
+            lut_blocks = [b for b in unit["blocks"] if b["type"] == "LutRam"]
+            assert len(lut_blocks) == 3  # bound + free0 + free1
+
+    def test_block_areas_sum_close_to_total(self, designs):
+        payload = design_to_dict(designs["dalta"])
+        block_total = sum(
+            b["area_um2"] for u in payload["units"] for b in u["blocks"]
+        )
+        assert block_total == pytest.approx(payload["area_um2"])
+
+    def test_monolithic_export(self, designs):
+        payload = design_to_dict(designs["exact"])
+        assert payload["units"][0]["mode"] == "monolithic"
+
+    def test_json_safe(self, designs):
+        json.dumps(design_to_dict(designs["nd"]))
+
+    def test_export_to_file(self, designs, tmp_path):
+        path = tmp_path / "design.json"
+        export_design(designs["dalta"], str(path))
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "d"

@@ -1,0 +1,114 @@
+"""Unit tests for netlist primitives: ledgers, popcount, small blocks."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ClockGateBlock, Mux2Block, NANGATE45, ToggleLedger
+from repro.hardware.netlist import merge_census, popcount64, toggles_between
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 255, (1 << 62) - 1], dtype=np.int64)
+        assert popcount64(words).tolist() == [0, 1, 2, 8, 62]
+
+    def test_matrix_shape(self):
+        words = np.arange(8, dtype=np.int64).reshape(2, 4)
+        assert popcount64(words).shape == (2, 4)
+
+
+class TestTogglesBetween:
+    def test_single_sequence(self):
+        values = np.array([0b00, 0b01, 0b11, 0b11])
+        # 0->1 flips one bit, 1->3 flips one bit, 3->3 flips none
+        assert toggles_between(values) == 2
+
+    def test_multi_node(self):
+        values = np.array([[0, 1], [0, 0]])
+        assert toggles_between(values) == 1
+
+    def test_short_sequences(self):
+        assert toggles_between(np.array([5])) == 0
+        assert toggles_between(np.array([], dtype=np.int64)) == 0
+
+    def test_counts_all_bits(self):
+        values = np.array([0b0000, 0b1111])
+        assert toggles_between(values) == 4
+
+
+class TestToggleLedger:
+    def test_accumulates(self):
+        ledger = ToggleLedger()
+        ledger.add("MUX2_X1", 3)
+        ledger.add("MUX2_X1", 2)
+        assert ledger.counts["MUX2_X1"] == 5
+        assert ledger.total() == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ToggleLedger().add("MUX2_X1", -1)
+
+    def test_energy(self):
+        ledger = ToggleLedger()
+        ledger.add("MUX2_X1", 10)
+        assert ledger.energy_fj(NANGATE45) == pytest.approx(
+            10 * NANGATE45["MUX2_X1"].energy_fj
+        )
+
+    def test_merge(self):
+        a, b = ToggleLedger(), ToggleLedger()
+        a.add("DFF_X1", 1)
+        b.add("DFF_X1", 2)
+        a.merge(b)
+        assert a.counts["DFF_X1"] == 3
+
+
+class TestMergeCensus:
+    def test_merges(self):
+        merged = merge_census([{"A": 1, "B": 2}, {"B": 3}])
+        assert merged == {"A": 1, "B": 5}
+
+
+class TestMux2Block:
+    def test_census_and_delay(self):
+        mux = Mux2Block("m", width=4)
+        assert mux.census() == {"MUX2_X1": 4}
+        assert mux.critical_path_ps() == NANGATE45["MUX2_X1"].delay_ps
+
+    def test_select_semantics(self):
+        mux = Mux2Block("m")
+        ledger = ToggleLedger()
+        out = mux.simulate(
+            np.array([0, 1, 1]), np.array([10, 10, 10]), np.array([20, 20, 20]), ledger
+        )
+        assert out.tolist() == [10, 20, 20]
+
+    def test_toggle_counting(self):
+        mux = Mux2Block("m")
+        ledger = ToggleLedger()
+        mux.simulate(
+            np.array([0, 1, 0]), np.array([0, 0, 0]), np.array([1, 1, 1]), ledger
+        )
+        # output sequence 0,1,0: two single-bit toggles
+        assert ledger.counts["MUX2_X1"] == 2
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Mux2Block("m", width=0)
+
+
+class TestClockGateBlock:
+    def test_enabled_toggles_per_cycle(self):
+        gate = ClockGateBlock("g")
+        ledger = ToggleLedger()
+        gate.simulate(100, enabled=True, ledger=ledger)
+        assert ledger.counts["CLKGATE_X1"] == 100
+
+    def test_gated_is_silent(self):
+        gate = ClockGateBlock("g")
+        ledger = ToggleLedger()
+        gate.simulate(100, enabled=False, ledger=ledger)
+        assert ledger.total() == 0
+
+    def test_census(self):
+        assert ClockGateBlock("g").census() == {"CLKGATE_X1": 1}

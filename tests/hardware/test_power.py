@@ -1,0 +1,109 @@
+"""Unit tests for energy measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_bssa, AlgorithmConfig
+from repro.hardware import (
+    BtoNormalDesign,
+    DaltaDesign,
+    ExactLutDesign,
+    measure_energy,
+    random_read_workload,
+)
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 3, rng, name="pwr")
+    result = run_bssa(target, AlgorithmConfig.fast(seed=4), rng=rng)
+    return target, DaltaDesign("pwr-dalta", target, result.sequence), result
+
+
+class TestWorkload:
+    def test_shape_and_range(self):
+        words = random_read_workload(8, n_reads=100, seed=1)
+        assert words.shape == (100,)
+        assert words.min() >= 0
+        assert words.max() < 256
+
+    def test_seed_reproducible(self):
+        a = random_read_workload(8, seed=3)
+        b = random_read_workload(8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_distribution_sampling(self):
+        p = np.zeros(16)
+        p[5] = 1.0
+        words = random_read_workload(4, n_reads=50, p=p)
+        assert np.all(words == 5)
+
+
+class TestMeasureEnergy:
+    def test_report_fields(self, small_design):
+        _, design, _ = small_design
+        report = measure_energy(design, n_reads=128, seed=0)
+        assert report.n_reads == 128
+        assert report.dynamic_fj > 0
+        assert report.leakage_fj > 0
+        assert report.total_fj == pytest.approx(
+            report.dynamic_fj + report.leakage_fj
+        )
+        assert report.per_read_fj == pytest.approx(report.total_fj / 128)
+
+    def test_explicit_workload(self, small_design):
+        _, design, _ = small_design
+        words = random_read_workload(design.n_inputs, 64, seed=9)
+        report = measure_energy(design, words=words)
+        assert report.n_reads == 64
+
+    def test_deterministic_given_workload(self, small_design):
+        _, design, _ = small_design
+        words = random_read_workload(design.n_inputs, 64, seed=9)
+        a = measure_energy(design, words=words)
+        b = measure_energy(design, words=words)
+        assert a.total_fj == pytest.approx(b.total_fj)
+
+    def test_leakage_scales_with_period(self, small_design):
+        _, design, _ = small_design
+        words = random_read_workload(design.n_inputs, 64, seed=9)
+        short = measure_energy(design, words=words, clock_period_ns=1.0)
+        long = measure_energy(design, words=words, clock_period_ns=4.0)
+        assert long.leakage_fj == pytest.approx(4 * short.leakage_fj)
+        assert long.dynamic_fj == pytest.approx(short.dynamic_fj)
+
+    def test_exact_lut_costs_more_than_decomposed(self, small_design):
+        target, design, _ = small_design
+        words = random_read_workload(target.n_inputs, 256, seed=2)
+        exact = measure_energy(ExactLutDesign(target), words=words)
+        decomposed = measure_energy(design, words=words)
+        assert exact.per_read_fj > decomposed.per_read_fj
+
+    def test_bto_bits_save_energy(self):
+        """Forcing a bit into BTO must reduce energy on BtoNormalDesign."""
+        rng = np.random.default_rng(1)
+        target = random_function(6, 2, rng, name="gate")
+        result = run_bssa(target, AlgorithmConfig.fast(seed=5), rng=rng)
+        words = random_read_workload(6, 256, seed=0)
+
+        normal_design = BtoNormalDesign("all-normal", target, result.sequence)
+        e_normal = measure_energy(normal_design, words=words)
+
+        # force bit 0 into BTO with the same partition
+        from repro.boolean import BoundOnlyDecomposition
+        from repro.core import Setting
+
+        dec = result.sequence[0].decomposition
+        bto = BoundOnlyDecomposition(dec.partition, dec.pattern)
+        forced = result.sequence.replace(0, Setting(0.0, bto))
+        bto_design = BtoNormalDesign("one-bto", target, forced)
+        e_bto = measure_energy(bto_design, words=words)
+        assert e_bto.total_fj < e_normal.total_fj
+
+    def test_as_dict(self, small_design):
+        _, design, _ = small_design
+        payload = measure_energy(design, n_reads=32).as_dict()
+        assert {"design", "n_reads", "total_fj", "per_read_fj"} <= set(payload)

@@ -1,0 +1,70 @@
+"""Unit tests for the routing box."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import RoutingBox, ToggleLedger
+
+
+class TestConstruction:
+    def test_census(self):
+        box = RoutingBox("r", 4, [2, 0, 3, 1])
+        assert box.census() == {"MUX2_X1": 12}
+
+    def test_rejects_partial_permutation(self):
+        with pytest.raises(ValueError):
+            RoutingBox("r", 4, [0, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            RoutingBox("r", 3, [0, 0, 1])
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            RoutingBox("r", 1, [0])
+
+    def test_mux_depth(self):
+        assert RoutingBox("r", 4, [0, 1, 2, 3]).mux_depth == 2
+        assert RoutingBox("r", 5, [0, 1, 2, 3, 4]).mux_depth == 3
+
+
+class TestRouting:
+    def test_identity(self):
+        box = RoutingBox("r", 3, [0, 1, 2])
+        words = np.arange(8)
+        assert box.route(words).tolist() == words.tolist()
+
+    def test_swap(self):
+        box = RoutingBox("r", 2, [1, 0])
+        assert box.route(np.array([0b01])).tolist() == [0b10]
+        assert box.route(np.array([0b10])).tolist() == [0b01]
+
+    def test_route_matches_extract(self):
+        box = RoutingBox("r", 4, [3, 1, 0, 2])
+        words = np.arange(16)
+        for x in range(16):
+            expected = 0
+            for i, pos in enumerate([3, 1, 0, 2]):
+                expected |= ((x >> pos) & 1) << i
+            assert box.route(words)[x] == expected
+
+
+class TestSimulate:
+    def test_toggles_scale_with_depth(self):
+        box = RoutingBox("r", 4, [0, 1, 2, 3])
+        ledger = ToggleLedger()
+        box.simulate(np.array([0b0000, 0b0001]), ledger)
+        # one routed bit flip, rippling through mux_depth levels
+        assert ledger.counts["MUX2_X1"] == box.mux_depth
+
+    def test_static_input_silent(self):
+        box = RoutingBox("r", 4, [3, 2, 1, 0])
+        ledger = ToggleLedger()
+        box.simulate(np.full(20, 0b1010), ledger)
+        assert ledger.total() == 0
+
+    def test_returns_routed_words(self):
+        box = RoutingBox("r", 3, [2, 1, 0])
+        ledger = ToggleLedger()
+        out = box.simulate(np.array([0b100]), ledger)
+        assert out.tolist() == [0b001]

@@ -1,0 +1,54 @@
+"""Unit tests for the functional-verification driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmConfig, run_bssa
+from repro.hardware import DaltaDesign, ExactLutDesign, verify_design
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def design():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 3, rng, name="vfy")
+    result = run_bssa(target, AlgorithmConfig.fast(seed=1), rng=rng)
+    return DaltaDesign("vfy-dalta", target, result.sequence)
+
+
+class TestVerifyDesign:
+    def test_passes_random_vectors(self, design):
+        result = verify_design(design, n_vectors=200, seed=3)
+        assert result.passed
+        assert result.n_vectors == 200
+        assert result.first_mismatch is None
+
+    def test_passes_exhaustive(self, design):
+        result = verify_design(design, exhaustive=True)
+        assert result.passed
+        assert result.n_vectors == design.target.size
+
+    def test_explicit_vectors(self, design):
+        words = np.array([0, 1, 2, 3])
+        result = verify_design(design, words=words)
+        assert result.n_vectors == 4
+
+    def test_detects_mismatch(self, design):
+        """A corrupted reference must be reported, with its location."""
+
+        class Broken(ExactLutDesign):
+            def approx_table(self):
+                table = super().approx_table().copy()
+                table[5] ^= 1
+                return table
+
+        broken = Broken(design.target)
+        result = verify_design(broken, exhaustive=True)
+        assert not result.passed
+        assert result.n_mismatches == 1
+        assert result.first_mismatch == 5
+
+    def test_repr(self, design):
+        text = repr(verify_design(design, n_vectors=16))
+        assert "PASS" in text

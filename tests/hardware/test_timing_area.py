@@ -1,0 +1,70 @@
+"""Unit tests for the timing and area engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmConfig, run_bssa
+from repro.hardware import (
+    DaltaDesign,
+    ExactLutDesign,
+    area_report,
+    timing_report,
+)
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def design():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 3, rng, name="ta")
+    result = run_bssa(target, AlgorithmConfig.fast(seed=1), rng=rng)
+    return DaltaDesign("ta-dalta", target, result.sequence)
+
+
+class TestTiming:
+    def test_critical_path_is_max_unit(self, design):
+        report = timing_report(design)
+        assert report.critical_path_ps == pytest.approx(
+            max(delay for _, delay in report.unit_paths)
+        )
+        assert len(report.unit_paths) == design.n_outputs
+
+    def test_meets_clock(self, design):
+        report = timing_report(design)
+        assert report.meets(clock_period_ns=1000.0)
+        assert not report.meets(clock_period_ns=1e-6)
+
+    def test_monolithic_single_path(self, design):
+        exact = ExactLutDesign(design.target)
+        report = timing_report(exact)
+        assert len(report.unit_paths) == 1
+
+    def test_render(self, design):
+        text = timing_report(design).render()
+        assert "critical path" in text
+
+
+class TestArea:
+    def test_total_matches_design(self, design):
+        report = area_report(design)
+        assert report.total_um2 == pytest.approx(design.area_um2())
+
+    def test_by_cell_sums_to_total(self, design):
+        report = area_report(design)
+        assert sum(report.by_cell.values()) == pytest.approx(report.total_um2)
+
+    def test_fractions(self, design):
+        report = area_report(design)
+        total = sum(report.fraction(cell) for cell in report.by_cell)
+        assert total == pytest.approx(1.0)
+
+    def test_dffs_dominate_lut_design(self, design):
+        """Storage dominates LUT-style designs — the paper's premise."""
+        report = area_report(ExactLutDesign(design.target))
+        assert report.fraction("DFF_X1") > 0.5
+
+    def test_render(self, design):
+        text = area_report(design).render()
+        assert "um^2" in text
+        assert "DFF_X1" in text

@@ -1,0 +1,187 @@
+"""Unit tests for the Verilog emitter."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmConfig, run_bssa
+from repro.hardware import (
+    BtoNormalDesign,
+    BtoNormalNdDesign,
+    DaltaDesign,
+    ExactLutDesign,
+    RoundInDesign,
+    RoundOutDesign,
+    emit_design,
+    emit_memory_images,
+    emit_testbench,
+)
+from repro.hardware.verilog import sanitize_identifier
+
+from ..conftest import random_function
+
+
+@pytest.fixture(scope="module")
+def designs():
+    rng = np.random.default_rng(0)
+    target = random_function(6, 3, rng, name="rtl target!")
+    config = AlgorithmConfig.fast(seed=1)
+    normal = run_bssa(target, config, rng=np.random.default_rng(1))
+    nd = run_bssa(
+        target, config, rng=np.random.default_rng(2), architecture="bto-normal-nd"
+    )
+    return {
+        "target": target,
+        "dalta": DaltaDesign("d", target, normal.sequence),
+        "bto": BtoNormalDesign("b", target, normal.sequence),
+        "nd": BtoNormalNdDesign("n", target, nd.sequence),
+        "exact": ExactLutDesign(target),
+        "roundout": RoundOutDesign(target, 1),
+        "roundin": RoundInDesign(target, 2),
+    }
+
+
+class TestSanitize:
+    def test_replaces_bad_chars(self):
+        assert sanitize_identifier("cos-bto-normal") == "cos_bto_normal"
+
+    def test_leading_digit(self):
+        assert sanitize_identifier("9lives").startswith("m_")
+
+    def test_empty(self):
+        assert sanitize_identifier("")
+
+
+class TestEmitDesign:
+    def test_dalta_structure(self, designs):
+        rtl = emit_design(designs["dalta"], module_name="dalta_top")
+        assert "module dalta_top (" in rtl
+        assert rtl.count("module") >= 2  # top + alut_ram
+        assert "input  wire [5:0]  x" in rtl
+        assert "output wire [2:0]  y" in rtl
+        # one bound + one free instance per output bit
+        assert rtl.count("u_bound_") == 3
+        assert rtl.count("u_free_") == 3
+
+    def test_nd_structure(self, designs):
+        rtl = emit_design(designs["nd"], module_name="nd_top")
+        assert rtl.count("u_free0_") == 3
+        assert rtl.count("u_free1_") == 3
+
+    def test_bto_enables_reflect_modes(self, designs):
+        rtl = emit_design(designs["bto"])
+        # each free table instance carries an explicit enable literal
+        assert re.search(r"\.en\(1'b[01]\)", rtl)
+
+    def test_monolithic(self, designs):
+        rtl = emit_design(designs["exact"])
+        assert rtl.count("u_ram (") == 1
+
+    def test_roundout_pads_lsbs(self, designs):
+        rtl = emit_design(designs["roundout"])
+        assert "{stored, 1'b0}" in rtl
+
+    def test_roundin_slices_address(self, designs):
+        rtl = emit_design(designs["roundin"])
+        assert "x[5:2]" in rtl
+
+    def test_balanced_module_endmodule(self, designs):
+        for key in ("dalta", "bto", "nd", "exact"):
+            rtl = emit_design(designs[key])
+            assert rtl.count("module") - rtl.count("endmodule") == rtl.count(
+                "endmodule"
+            )  # every 'module' token pairs with an 'endmodule'
+
+
+class TestMemoryImages:
+    def test_dalta_images_cover_instances(self, designs):
+        rtl = emit_design(designs["dalta"], module_name="top")
+        images = emit_memory_images(designs["dalta"], module_name="top")
+        for name in images:
+            assert name in rtl
+        assert len(images) == 6  # 3 bound + 3 free
+
+    def test_image_contents_match_rams(self, designs):
+        images = emit_memory_images(designs["dalta"], module_name="top")
+        unit = designs["dalta"].units[0]
+        bound_image = images["top_bit0_bound.mem"]
+        expected = "\n".join(str(int(v)) for v in unit.bound_ram.contents)
+        assert bound_image == expected
+
+    def test_monolithic_image_width(self, designs):
+        images = emit_memory_images(designs["exact"], module_name="top")
+        lines = images["top_ram.mem"].splitlines()
+        assert len(lines) == designs["exact"].ram.n_entries
+        assert all(len(line) == 3 for line in lines)  # 3-bit outputs
+
+    def test_nd_images(self, designs):
+        images = emit_memory_images(designs["nd"], module_name="top")
+        assert len(images) == 9  # bound + free0 + free1 per bit
+
+
+class TestTestbench:
+    def test_testbench_structure(self, designs):
+        tb = emit_testbench(designs["dalta"], module_name="top", n_vectors=8)
+        assert "module top_tb;" in tb
+        assert "top dut" in tb
+        assert tb.count("apply(") >= 8
+        assert "$finish" in tb
+
+    def test_testbench_expectations_match_table(self, designs):
+        design = designs["exact"]
+        tb = emit_testbench(design, module_name="top", n_vectors=4)
+        match = re.search(r"apply\(6'd0, 3'd(\d+)\);", tb)
+        assert match
+        assert int(match.group(1)) == int(design.approx_table()[0])
+
+
+class TestMultiSharedEmission:
+    @pytest.fixture(scope="class")
+    def ms_design(self):
+        from repro.boolean import BooleanFunction, Partition
+        from repro.core import (
+            Setting,
+            SettingSequence,
+            cost_vectors_fixed,
+            optimize_multi_shared,
+        )
+        from repro.hardware import MultiSharedNdDesign
+
+        rng = np.random.default_rng(0)
+        n = 6
+        target = BooleanFunction(
+            n, 2, rng.integers(0, 4, size=64).astype(np.int64), name="ms"
+        )
+        partition = Partition((4, 5), (0, 1, 2, 3))
+        p = np.full(64, 1 / 64)
+        settings = []
+        for k in range(2):
+            rest = target.table & ~np.int64(1 << k)
+            costs = cost_vectors_fixed(target.table, rest, k)
+            result = optimize_multi_shared(
+                costs, p, partition, n, [0, 2], n_initial_patterns=8, rng=rng
+            )
+            settings.append(Setting(result.error, result.decomposition))
+        return MultiSharedNdDesign(
+            "ms", target, SettingSequence(2, settings), n_shared_max=2
+        )
+
+    def test_rtl_structure(self, ms_design):
+        rtl = emit_design(ms_design, module_name="ms_top")
+        assert rtl.count("u_free") == 8  # 2 bits x 4 tables
+        assert "wire sel0_" in rtl and "wire sel1_" in rtl
+
+    def test_images_cover_instances(self, ms_design):
+        rtl = emit_design(ms_design, module_name="ms_top")
+        images = emit_memory_images(ms_design, module_name="ms_top")
+        assert len(images) == 10  # 2 bound + 8 free
+        for name in images:
+            assert name in rtl
+
+    def test_mem_contents_match_rams(self, ms_design):
+        images = emit_memory_images(ms_design, module_name="ms_top")
+        unit = ms_design.units[0]
+        for idx, ram in enumerate(unit.free_rams):
+            expected = "\n".join(str(int(v)) for v in ram.contents)
+            assert images[f"ms_top_bit0_free{idx}.mem"] == expected

@@ -1,0 +1,134 @@
+"""Edge-case and failure-injection tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.boolean import BooleanFunction
+from repro.hardware import verify_design
+from repro.metrics import distributions
+
+
+class TestDegenerateFunctions:
+    def test_constant_function_compiles_exactly(self, fast_config):
+        f = BooleanFunction(5, 3, np.zeros(32, dtype=np.int64), name="const0")
+        lut = repro.approximate(f, config=fast_config)
+        assert lut.med == 0.0
+        assert verify_design(lut.hardware(), exhaustive=True).passed
+
+    def test_all_ones_function(self, fast_config):
+        f = BooleanFunction(5, 3, np.full(32, 7, dtype=np.int64), name="const7")
+        lut = repro.approximate(f, config=fast_config)
+        assert lut.med == 0.0
+
+    def test_single_output_bit(self, fast_config, rng):
+        bits = rng.integers(0, 2, size=32)
+        f = BooleanFunction(5, 1, bits, name="onebit")
+        lut = repro.approximate(f, architecture="dalta", config=fast_config)
+        assert 0.0 <= lut.med <= 1.0
+        assert verify_design(lut.hardware(), exhaustive=True).passed
+
+    def test_identity_function_msb_exact(self, fast_config):
+        """Identity bits are trivially decomposable (each output bit is
+        one input bit), so the search must find near-exact settings."""
+        f = BooleanFunction(5, 5, np.arange(32, dtype=np.int64), name="id")
+        lut = repro.approximate(f, architecture="dalta", config=fast_config)
+        assert lut.med < 1.0
+
+    def test_minimal_width(self, fast_config):
+        """Smallest function the decomposition supports: 2 inputs."""
+        f = BooleanFunction(2, 1, [0, 1, 1, 0], name="xor")
+        lut = repro.approximate(f, architecture="dalta", config=fast_config)
+        assert lut.sequence.is_complete()
+        assert verify_design(lut.hardware(), exhaustive=True).passed
+
+
+class TestDegenerateDistributions:
+    def test_point_mass_distribution(self, fast_config, rng):
+        """All probability on one input: that input must be exact-able."""
+        n = 5
+        f = BooleanFunction(n, 3, rng.integers(0, 8, size=32), name="pm")
+        p = np.zeros(32)
+        p[13] = 1.0
+        lut = repro.approximate(f, config=fast_config, p=p)
+        # the optimiser only has to match input 13
+        assert abs(int(lut.evaluate(13)) - int(f(13))) == pytest.approx(lut.med)
+
+    def test_two_point_distribution(self, fast_config, rng):
+        n = 5
+        f = BooleanFunction(n, 3, rng.integers(0, 8, size=32), name="2pt")
+        p = np.zeros(32)
+        p[3] = p[28] = 0.5
+        lut = repro.approximate(f, config=fast_config, p=p)
+        manual = 0.5 * (
+            abs(int(lut.evaluate(3)) - int(f(3)))
+            + abs(int(lut.evaluate(28)) - int(f(28)))
+        )
+        assert lut.med == pytest.approx(manual)
+
+
+class TestFailureInjection:
+    def test_verify_catches_corrupted_lut_contents(self, fast_config, rng):
+        """Flipping one stored bit must surface as a functional mismatch."""
+        from ..conftest import random_function
+
+        target = random_function(6, 2, rng, name="corrupt")
+        lut = repro.approximate(target, architecture="dalta", config=fast_config)
+        design = lut.hardware()
+        # corrupt one bound-table cell of bit 0
+        design.units[0].bound_ram.contents[0] ^= 1
+        result = verify_design(design, exhaustive=True)
+        assert not result.passed
+
+    def test_verify_catches_wrong_routing(self, fast_config, rng):
+        """Mis-routing the inputs must break functional equivalence
+        (unless the bit pattern is miraculously symmetric)."""
+        from repro.hardware.routing import RoutingBox
+
+        from ..conftest import random_function
+
+        target = random_function(6, 2, rng, name="misroute")
+        lut = repro.approximate(target, architecture="dalta", config=fast_config)
+        design = lut.hardware()
+        unit = design.units[0]
+        permutation = list(unit.routing.permutation)
+        permutation[0], permutation[-1] = permutation[-1], permutation[0]
+        unit.routing = RoutingBox(
+            unit.routing.name, 6, permutation, unit.routing.library
+        )
+        result = verify_design(design, exhaustive=True)
+        assert not result.passed
+
+    def test_serialize_rejects_tampered_mode(self, fast_config, rng):
+        import json
+
+        from repro.core import serialize
+
+        from ..conftest import random_function
+
+        target = random_function(5, 2, rng, name="tamper")
+        lut = repro.approximate(target, config=fast_config)
+        payload = json.loads(serialize.dumps(lut))
+        payload["settings"][0]["mode"] = "warp"
+        with pytest.raises(ValueError):
+            serialize.loads(json.dumps(payload), target)
+
+
+class TestMultiSharedSerialization:
+    def test_roundtrip(self, rng):
+        from repro.boolean import Partition
+        from repro.core import Setting, cost_vectors_fixed, optimize_multi_shared
+        from repro.core.serialize import setting_from_dict, setting_to_dict
+
+        n = 6
+        bits = rng.integers(0, 2, size=64).astype(np.int64)
+        costs = cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+        p = distributions.uniform(n)
+        partition = Partition((4, 5), (0, 1, 2, 3))
+        result = optimize_multi_shared(
+            costs, p, partition, n, [1, 3], n_initial_patterns=8, rng=rng
+        )
+        setting = Setting(result.error, result.decomposition)
+        rebuilt = setting_from_dict(setting_to_dict(setting))
+        assert rebuilt.mode == "nd-multi"
+        np.testing.assert_array_equal(rebuilt.bits(n), setting.bits(n))

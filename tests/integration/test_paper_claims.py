@@ -1,0 +1,128 @@
+"""Integration tests of the paper's directional claims at reduced scale.
+
+These pin the *shape* of the published results (who wins, in which
+direction) rather than absolute numbers — see EXPERIMENTS.md for the
+measured magnitudes at each scale.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import workloads
+from repro.hardware import (
+    BtoNormalDesign,
+    DaltaDesign,
+    ExactLutDesign,
+    RoundOutDesign,
+    measure_energy,
+    random_read_workload,
+)
+from repro.metrics import med
+
+
+@pytest.fixture(scope="module")
+def cos_setup():
+    cos = workloads.get("cos", n_inputs=8)
+    config = repro.AlgorithmConfig.fast(seed=9)
+    result = repro.run_bssa(cos, config, rng=np.random.default_rng(2))
+    words = random_read_workload(8, n_reads=512, seed=0)
+    return cos, result, words
+
+
+class TestEnergyOrdering:
+    def test_decomposed_beats_exact_lut(self, cos_setup):
+        """Computing-with-memory premise: decomposition slashes energy."""
+        cos, result, words = cos_setup
+        dalta = measure_energy(DaltaDesign("d", cos, result.sequence), words=words)
+        exact = measure_energy(ExactLutDesign(cos), words=words)
+        assert dalta.per_read_fj < exact.per_read_fj / 2
+
+    def test_roundout_costs_more_than_decomposed(self, cos_setup):
+        """Fig. 5 shape: output rounding keeps the full-depth table."""
+        cos, result, words = cos_setup
+        dalta = measure_energy(DaltaDesign("d", cos, result.sequence), words=words)
+        roundout = measure_energy(RoundOutDesign(cos, q=2), words=words)
+        assert roundout.per_read_fj > dalta.per_read_fj
+
+    def test_bto_selection_saves_energy_at_matched_structure(self, cos_setup):
+        """Gating any free table must strictly reduce dynamic energy."""
+        cos, result, words = cos_setup
+        baseline = BtoNormalDesign("all-normal", cos, result.sequence)
+        e_base = measure_energy(baseline, words=words)
+
+        from repro.boolean import BoundOnlyDecomposition
+        from repro.core import Setting
+
+        sequence = result.sequence
+        dec = sequence[cos.n_outputs - 1].decomposition
+        forced = sequence.replace(
+            cos.n_outputs - 1,
+            Setting(0.0, BoundOnlyDecomposition(dec.partition, dec.pattern)),
+        )
+        gated = BtoNormalDesign("one-bto", cos, forced)
+        e_gated = measure_energy(gated, words=words)
+        assert e_gated.dynamic_fj < e_base.dynamic_fj
+
+
+class TestAreaOrdering:
+    def test_nd_architecture_area_overhead(self, cos_setup):
+        """Fig. 5: BTO-Normal-ND pays area for its second free table."""
+        cos, result, _ = cos_setup
+        from repro.hardware import BtoNormalNdDesign
+
+        dalta = DaltaDesign("d", cos, result.sequence)
+        nd = BtoNormalNdDesign("n", cos, result.sequence)
+        ratio = nd.area_um2() / dalta.area_um2()
+        assert 1.05 < ratio < 2.0
+
+    def test_decomposed_area_far_below_exact(self, cos_setup):
+        cos, result, _ = cos_setup
+        dalta = DaltaDesign("d", cos, result.sequence)
+        exact = ExactLutDesign(cos)
+        assert dalta.area_um2() < exact.area_um2() / 2
+
+
+class TestPredictiveModelClaim:
+    def test_predictive_no_worse_than_accurate_lsb(self):
+        """§III-B: the predictive model should help (on average)."""
+        cos = workloads.get("cos", n_inputs=8)
+        config = repro.AlgorithmConfig.fast()
+        predictive, accurate = [], []
+        for seed in range(4):
+            predictive.append(
+                repro.run_bssa(
+                    cos,
+                    config,
+                    rng=np.random.default_rng(seed),
+                    lsb_model="predictive",
+                ).med
+            )
+            accurate.append(
+                repro.run_bssa(
+                    cos,
+                    config,
+                    rng=np.random.default_rng(seed),
+                    lsb_model="accurate",
+                ).med
+            )
+        assert np.mean(predictive) <= np.mean(accurate) * 1.10
+
+
+class TestNonContinuousSupport:
+    def test_multiplier_decomposes_decently(self):
+        """Taylor-based approximate LUTs cannot host the stitched
+        multiplier at all; decomposition handles it with bounded MED."""
+        mult = workloads.get("multiplier", n_inputs=8)
+        config = repro.AlgorithmConfig.fast(seed=4)
+        result = repro.run_bssa(mult, config, rng=np.random.default_rng(0))
+        full_range = (1 << mult.n_outputs) - 1
+        assert result.med < 0.10 * full_range
+
+    def test_brent_kung_nearly_exact(self):
+        """The adder is highly decomposable (the paper's near-zero MEDs)."""
+        adder = workloads.get("brent-kung", n_inputs=8)
+        config = repro.AlgorithmConfig.fast(seed=4)
+        result = repro.run_bssa(adder, config, rng=np.random.default_rng(0))
+        full_range = (1 << adder.n_outputs) - 1
+        assert result.med < 0.05 * full_range

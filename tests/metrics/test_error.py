@@ -1,0 +1,116 @@
+"""Unit tests for the error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.boolean import BooleanFunction
+from repro.metrics import (
+    ErrorReport,
+    error_distance,
+    error_rate,
+    med,
+    mred,
+    mse,
+    normalized_med,
+    worst_case_error,
+)
+
+
+class TestMed:
+    def test_identical_functions(self):
+        f = BooleanFunction(2, 2, [0, 1, 2, 3])
+        assert med(f, f) == 0.0
+
+    def test_uniform_default(self):
+        exact = np.array([0, 0, 0, 0])
+        approx = np.array([1, 1, 1, 1])
+        assert med(exact, approx) == 1.0
+
+    def test_weighted(self):
+        exact = np.array([0, 0])
+        approx = np.array([4, 2])
+        p = np.array([0.25, 0.75])
+        assert med(exact, approx, p) == 4 * 0.25 + 2 * 0.75
+
+    def test_absolute_distance(self):
+        exact = np.array([5, 0])
+        approx = np.array([0, 5])
+        assert med(exact, approx) == 5.0
+
+    def test_accepts_boolean_functions(self):
+        f = BooleanFunction(1, 2, [0, 3])
+        g = BooleanFunction(1, 2, [1, 3])
+        assert med(f, g) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            med(np.zeros(4), np.zeros(8))
+
+    def test_distribution_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            med(np.zeros(4), np.zeros(4), np.ones(8))
+
+    def test_matches_paper_definition(self, rng):
+        """MED = sum_X p_X |Bin(G(X)) - Bin(G_hat(X))| literally."""
+        exact = rng.integers(0, 256, size=64)
+        approx = rng.integers(0, 256, size=64)
+        p = rng.random(64)
+        p /= p.sum()
+        reference = sum(
+            p[x] * abs(int(exact[x]) - int(approx[x])) for x in range(64)
+        )
+        assert med(exact, approx, p) == pytest.approx(reference)
+
+
+class TestOtherMetrics:
+    def test_error_rate(self):
+        exact = np.array([0, 1, 2, 3])
+        approx = np.array([0, 1, 0, 0])
+        assert error_rate(exact, approx) == 0.5
+
+    def test_mred_zero_denominator_convention(self):
+        exact = np.array([0, 2])
+        approx = np.array([3, 1])
+        # x=0: |3-0|/1 = 3 (denominator clamped), x=1: 1/2
+        assert mred(exact, approx) == pytest.approx((3 + 0.5) / 2)
+
+    def test_worst_case(self):
+        assert worst_case_error(np.array([0, 0]), np.array([7, 3])) == 7
+
+    def test_mse(self):
+        assert mse(np.array([0, 0]), np.array([2, 4])) == pytest.approx(10.0)
+
+    def test_normalized_med(self):
+        exact = np.array([0, 0])
+        approx = np.array([15, 15])
+        assert normalized_med(exact, approx, 4) == pytest.approx(1.0)
+
+    def test_error_distance_vector(self):
+        out = error_distance(np.array([3, 5]), np.array([5, 2]))
+        assert out.tolist() == [2, 3]
+
+
+class TestErrorReport:
+    def test_consistency(self, rng):
+        exact = rng.integers(0, 64, size=32)
+        approx = rng.integers(0, 64, size=32)
+        report = ErrorReport(exact, approx, 6)
+        assert report.med == pytest.approx(med(exact, approx))
+        assert report.error_rate == pytest.approx(error_rate(exact, approx))
+        assert report.mred == pytest.approx(mred(exact, approx))
+        assert report.worst_case == worst_case_error(exact, approx)
+        assert report.mse == pytest.approx(mse(exact, approx))
+        assert report.normalized_med == pytest.approx(
+            normalized_med(exact, approx, 6)
+        )
+
+    def test_as_dict_keys(self):
+        report = ErrorReport(np.array([0]), np.array([0]), 1)
+        assert set(report.as_dict()) == {
+            "med",
+            "error_rate",
+            "mred",
+            "worst_case",
+            "mse",
+            "normalized_med",
+        }

@@ -1,0 +1,65 @@
+"""Unit tests for application-level quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import max_abs_error, psnr_db, quality_summary, snr_db
+
+
+class TestPsnr:
+    def test_identical_signals_infinite(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert psnr_db(x, x) == float("inf")
+
+    def test_known_value(self):
+        reference = np.zeros(4)
+        estimate = np.full(4, 0.5)
+        # peak defaults to range -> 0 range falls back to max(|ref|, 1)
+        value = psnr_db(reference, estimate)
+        assert value == pytest.approx(10 * math.log10(1.0 / 0.25))
+
+    def test_explicit_peak(self):
+        reference = np.array([0.0, 1.0])
+        estimate = np.array([0.5, 0.5])
+        assert psnr_db(reference, estimate, peak=2.0) == pytest.approx(
+            10 * math.log10(4.0 / 0.25)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr_db(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            psnr_db(np.array([]), np.array([]))
+
+
+class TestSnr:
+    def test_identical_infinite(self):
+        x = np.array([1.0, -1.0])
+        assert snr_db(x, x) == float("inf")
+
+    def test_zero_signal(self):
+        assert snr_db(np.zeros(3), np.ones(3)) == float("-inf")
+
+    def test_known_ratio(self):
+        reference = np.array([2.0, 2.0])
+        estimate = np.array([1.0, 1.0])
+        assert snr_db(reference, estimate) == pytest.approx(
+            10 * math.log10(4.0 / 1.0)
+        )
+
+
+class TestMaxAbsError:
+    def test_basic(self):
+        assert max_abs_error([0.0, 1.0], [0.5, -1.0]) == 2.0
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = quality_summary([0.0, 1.0], [0.0, 0.5])
+        assert set(summary) == {"psnr_db", "snr_db", "max_abs_error", "rmse"}
+        assert summary["max_abs_error"] == 0.5
+        assert summary["rmse"] == pytest.approx(math.sqrt(0.125))

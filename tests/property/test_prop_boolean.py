@@ -1,0 +1,162 @@
+"""Property-based tests of the Boolean substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import (
+    BooleanFunction,
+    DisjointDecomposition,
+    Partition,
+    apply_types,
+    find_exact_decomposition,
+    from_matrix,
+    ops,
+    to_matrix,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def partitions(n_inputs: int):
+    """All partitions of n variables with non-empty sides."""
+
+    @st.composite
+    def build(draw):
+        variables = list(range(n_inputs))
+        bound_size = draw(st.integers(1, n_inputs - 1))
+        bound = draw(
+            st.permutations(variables).map(lambda p: tuple(sorted(p[:bound_size])))
+        )
+        free = tuple(v for v in variables if v not in bound)
+        return Partition(free, bound)
+
+    return build()
+
+
+small_n = st.integers(3, 6)
+
+
+@st.composite
+def function_with_partition(draw):
+    n = draw(small_n)
+    partition = draw(partitions(n))
+    bits = draw(
+        st.lists(st.integers(0, 1), min_size=1 << n, max_size=1 << n)
+    )
+    return n, partition, np.array(bits, dtype=np.int64)
+
+
+@st.composite
+def vt_decomposition(draw):
+    n = draw(small_n)
+    partition = draw(partitions(n))
+    pattern = np.array(
+        draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=partition.n_cols,
+                max_size=partition.n_cols,
+            )
+        ),
+        dtype=np.uint8,
+    )
+    types = np.array(
+        draw(
+            st.lists(
+                st.integers(1, 4),
+                min_size=partition.n_rows,
+                max_size=partition.n_rows,
+            )
+        ),
+        dtype=np.int8,
+    )
+    return n, DisjointDecomposition(partition, pattern, types)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestBitOps:
+    @given(st.integers(1, 10), st.data())
+    def test_extract_deposit_inverse(self, n, data):
+        k = data.draw(st.integers(1, n))
+        positions = data.draw(
+            st.permutations(range(n)).map(lambda p: list(p[:k]))
+        )
+        packed = ops.all_inputs(k)
+        full = ops.deposit_bits(packed, positions)
+        assert np.array_equal(ops.extract_bits(full, positions), packed)
+
+    @given(st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=50))
+    def test_popcount_matches_python(self, values):
+        words = np.array(values, dtype=np.int64)
+        expected = [bin(v).count("1") for v in values]
+        assert ops.popcount(words, 16).tolist() == expected
+
+
+class TestReshaping:
+    @given(function_with_partition())
+    def test_to_from_matrix_roundtrip(self, case):
+        n, partition, bits = case
+        matrix = to_matrix(bits, partition, n)
+        assert np.array_equal(from_matrix(matrix, partition, n), bits)
+
+    @given(function_with_partition())
+    def test_matrix_entry_identity(self, case):
+        """matrix[row(x), col(x)] == bits[x] for every input."""
+        n, partition, bits = case
+        matrix = to_matrix(bits, partition, n)
+        xs = ops.all_inputs(n)
+        rows, cols = partition.row_col_of(xs)
+        assert np.array_equal(matrix[rows, cols], bits)
+
+
+class TestDecompositionRoundTrip:
+    @given(vt_decomposition())
+    @settings(max_examples=60)
+    def test_vt_functions_are_exactly_decomposable(self, case):
+        n, decomposition = case
+        bits = decomposition.evaluate(n)
+        found = find_exact_decomposition(bits, decomposition.partition, n)
+        assert found is not None
+        assert np.array_equal(found.evaluate(n), bits)
+
+    @given(vt_decomposition())
+    @settings(max_examples=60)
+    def test_matrix_equals_apply_types(self, case):
+        n, decomposition = case
+        matrix = to_matrix(decomposition.evaluate(n), decomposition.partition, n)
+        assert np.array_equal(
+            matrix, apply_types(decomposition.types, decomposition.pattern)
+        )
+
+    @given(vt_decomposition())
+    @settings(max_examples=60)
+    def test_free_table_consistency(self, case):
+        """Evaluate through the LUT images exactly as the hardware does."""
+        n, dec = case
+        partition = dec.partition
+        bound = dec.bound_table()
+        free = dec.free_table()
+        xs = ops.all_inputs(n)
+        rows, cols = partition.row_col_of(xs)
+        phi = bound[cols]
+        via_tables = free[rows, phi.astype(np.int64)]
+        assert np.array_equal(via_tables, dec.evaluate(n))
+
+
+class TestCofactors:
+    @given(small_n, st.data())
+    def test_cofactor_shannon(self, n, data):
+        table = data.draw(
+            st.lists(st.integers(0, 7), min_size=1 << n, max_size=1 << n)
+        )
+        f = BooleanFunction(n, 3, np.array(table, dtype=np.int64))
+        var = data.draw(st.integers(0, n - 1))
+        g0, g1 = f.cofactor(var, 0), f.cofactor(var, 1)
+        xs = ops.all_inputs(n)
+        keep = [i for i in range(n) if i != var]
+        reduced = ops.extract_bits(xs, keep)
+        bit = ops.bit_of(xs, var)
+        expected = np.where(bit, g1.table[reduced], g0.table[reduced])
+        assert np.array_equal(f.table, expected)

@@ -1,0 +1,90 @@
+"""Property-based tests of the cost models (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    cost_vectors_accurate_lsb,
+    cost_vectors_fixed,
+    cost_vectors_predictive,
+)
+
+
+@st.composite
+def target_and_context(draw):
+    m = draw(st.integers(2, 6))
+    n = draw(st.integers(2, 5))
+    k = draw(st.integers(0, m - 1))
+    size = 1 << n
+    target = np.array(
+        draw(st.lists(st.integers(0, (1 << m) - 1), min_size=size, max_size=size)),
+        dtype=np.int64,
+    )
+    context = np.array(
+        draw(st.lists(st.integers(0, (1 << m) - 1), min_size=size, max_size=size)),
+        dtype=np.int64,
+    )
+    return m, n, k, target, context
+
+
+class TestPredictiveModel:
+    @given(target_and_context())
+    @settings(max_examples=60)
+    def test_matches_bruteforce_min(self, case):
+        """The predictive cost equals the true minimum over LSB choices."""
+        m, n, k, target, context = case
+        msb = context & ~np.int64((1 << (k + 1)) - 1)
+        costs = cost_vectors_predictive(target, msb, k)
+        for x in range(1 << n):
+            for j, vec in ((0, costs.cost0), (1, costs.cost1)):
+                y_hat_m = int(msb[x]) + (j << k)
+                best = min(
+                    abs(y_hat_m + lsb - int(target[x])) for lsb in range(1 << k)
+                )
+                assert vec[x] == best
+
+    @given(target_and_context())
+    @settings(max_examples=60)
+    def test_lower_bounds_every_other_model(self, case):
+        """Predictive is the pointwise floor of fixed and accurate-LSB."""
+        m, n, k, target, context = case
+        msb = context & ~np.int64((1 << (k + 1)) - 1)
+        rest = context & ~np.int64(1 << k)
+        predictive = cost_vectors_predictive(target, msb, k)
+        accurate = cost_vectors_accurate_lsb(target, msb, k)
+        assert np.all(predictive.cost0 <= accurate.cost0)
+        assert np.all(predictive.cost1 <= accurate.cost1)
+
+    @given(target_and_context())
+    @settings(max_examples=40)
+    def test_one_choice_is_free_when_msb_matches(self, case):
+        """If the MSBs equal the target's MSBs, the matching choice of
+        bit k costs zero under the predictive model."""
+        m, n, k, target, _ = case
+        msb = target & ~np.int64((1 << (k + 1)) - 1)
+        costs = cost_vectors_predictive(target, msb, k)
+        target_bit = (target >> k) & 1
+        chosen = np.where(target_bit == 1, costs.cost1, costs.cost0)
+        assert np.all(chosen == 0)
+
+
+class TestFixedModel:
+    @given(target_and_context())
+    @settings(max_examples=60)
+    def test_costs_are_absolute_distances(self, case):
+        m, n, k, target, context = case
+        rest = context & ~np.int64(1 << k)
+        costs = cost_vectors_fixed(target, rest, k)
+        assert np.array_equal(costs.cost0, np.abs(rest - target))
+        assert np.array_equal(
+            costs.cost1, np.abs(rest + (1 << k) - target)
+        )
+
+    @given(target_and_context())
+    @settings(max_examples=60)
+    def test_cost_difference_bounded_by_weight(self, case):
+        """|c1 - c0| <= 2**k by the triangle inequality."""
+        m, n, k, target, context = case
+        rest = context & ~np.int64(1 << k)
+        costs = cost_vectors_fixed(target, rest, k)
+        assert np.all(np.abs(costs.cost1 - costs.cost0) <= (1 << k))

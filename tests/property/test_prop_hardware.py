@@ -1,0 +1,103 @@
+"""Property-based tests of the hardware model (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import LutRam, RoutingBox, ToggleLedger
+from repro.hardware.netlist import popcount64, toggles_between
+
+
+@st.composite
+def ram_and_workload(draw):
+    n_addr = draw(st.integers(1, 6))
+    width = draw(st.integers(1, 8))
+    size = 1 << n_addr
+    contents = np.array(
+        draw(
+            st.lists(
+                st.integers(0, (1 << width) - 1), min_size=size, max_size=size
+            )
+        ),
+        dtype=np.int64,
+    )
+    n_reads = draw(st.integers(0, 60))
+    addresses = np.array(
+        draw(
+            st.lists(st.integers(0, size - 1), min_size=n_reads, max_size=n_reads)
+        ),
+        dtype=np.int64,
+    )
+    return LutRam("ram", n_addr, width, contents), addresses
+
+
+class TestPopcountProperties:
+    @given(st.lists(st.integers(0, (1 << 62) - 1), min_size=1, max_size=40))
+    def test_matches_python_bincount(self, values):
+        words = np.array(values, dtype=np.int64)
+        assert popcount64(words).tolist() == [bin(v).count("1") for v in values]
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=40))
+    def test_toggles_symmetry(self, values):
+        """Reversing a sequence preserves its total toggle count."""
+        forward = toggles_between(np.array(values, dtype=np.int64))
+        backward = toggles_between(np.array(values[::-1], dtype=np.int64))
+        assert forward == backward
+
+
+class TestLutRamProperties:
+    @given(ram_and_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_simulate_is_functional_read(self, case):
+        ram, addresses = case
+        ledger = ToggleLedger()
+        out = ram.simulate(addresses, ledger)
+        assert np.array_equal(out, ram.contents[addresses])
+
+    @given(ram_and_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_output_toggles_bounded_by_mux_count(self, case):
+        """Mux toggles per step cannot exceed the number of mux nodes."""
+        ram, addresses = case
+        ledger = ToggleLedger()
+        ram.simulate(addresses, ledger)
+        steps = max(0, len(addresses) - 1)
+        assert ledger.counts.get("MUX2_X1", 0) <= steps * ram.n_mux
+
+    @given(ram_and_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_root_toggles_at_least_output_changes(self, case):
+        """The root mux is the data output: its flips lower-bound the
+        ledger's mux total."""
+        ram, addresses = case
+        ledger = ToggleLedger()
+        out = ram.simulate(addresses, ledger)
+        output_flips = toggles_between(out)
+        assert ledger.counts.get("MUX2_X1", 0) >= output_flips
+
+    @given(ram_and_workload())
+    @settings(max_examples=30, deadline=None)
+    def test_gated_block_is_dynamically_silent(self, case):
+        ram, addresses = case
+        ledger = ToggleLedger()
+        ram.simulate(addresses, ledger, enabled=False)
+        assert ledger.total() == 0
+
+
+class TestRoutingProperties:
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_routing_is_bijective_on_words(self, n, data):
+        permutation = data.draw(st.permutations(range(n)))
+        box = RoutingBox("r", n, list(permutation))
+        words = np.arange(1 << n, dtype=np.int64)
+        routed = box.route(words)
+        assert sorted(routed.tolist()) == words.tolist()
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_double_routing_composes(self, n, data):
+        perm = list(data.draw(st.permutations(range(n))))
+        box = RoutingBox("r", n, perm)
+        identity = RoutingBox("i", n, list(range(n)))
+        words = np.arange(1 << n, dtype=np.int64)
+        assert np.array_equal(identity.route(box.route(words)), box.route(words))

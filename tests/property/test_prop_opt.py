@@ -1,0 +1,119 @@
+"""Property-based tests of the optimisation kernels (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import Partition
+from repro.core import (
+    BitCosts,
+    opt_for_part,
+    opt_for_part_bto,
+    opt_for_part_exhaustive,
+    optimize_nondisjoint_shared,
+)
+
+
+@st.composite
+def cost_instance(draw):
+    """A random weighted bit-cost instance over a small input space."""
+    n = draw(st.integers(3, 5))
+    size = 1 << n
+    cost0 = np.array(
+        draw(st.lists(st.integers(0, 20), min_size=size, max_size=size)),
+        dtype=np.float64,
+    )
+    cost1 = np.array(
+        draw(st.lists(st.integers(0, 20), min_size=size, max_size=size)),
+        dtype=np.float64,
+    )
+    bound_size = draw(st.integers(1, min(3, n - 1)))
+    variables = list(range(n))
+    bound = tuple(sorted(draw(st.permutations(variables))[:bound_size]))
+    free = tuple(v for v in variables if v not in bound)
+    p = np.full(size, 1.0 / size)
+    return n, BitCosts(0, cost0, cost1), Partition(free, bound), p
+
+
+class TestOptForPart:
+    @given(cost_instance(), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_reported_error_is_exact(self, case, seed):
+        n, costs, partition, p = case
+        rng = np.random.default_rng(seed)
+        result = opt_for_part(costs, p, partition, n, n_initial_patterns=4, rng=rng)
+        recomputed = costs.evaluate(result.decomposition.evaluate(n), p)
+        assert abs(result.error - recomputed) < 1e-9
+
+    @given(cost_instance(), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_never_beats_exhaustive(self, case, seed):
+        n, costs, partition, p = case
+        rng = np.random.default_rng(seed)
+        heuristic = opt_for_part(
+            costs, p, partition, n, n_initial_patterns=4, rng=rng
+        )
+        oracle = opt_for_part_exhaustive(costs, p, partition, n)
+        assert heuristic.error >= oracle.error - 1e-9
+
+    @given(cost_instance(), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_lower_bound(self, case, seed):
+        """No decomposition can beat the unconstrained per-input optimum."""
+        n, costs, partition, p = case
+        rng = np.random.default_rng(seed)
+        result = opt_for_part(costs, p, partition, n, rng=rng)
+        assert result.error >= costs.lower_bound(p) - 1e-9
+
+    @given(cost_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_bto_dominated_by_exhaustive_normal(self, case):
+        n, costs, partition, p = case
+        bto = opt_for_part_bto(costs, p, partition, n)
+        oracle = opt_for_part_exhaustive(costs, p, partition, n)
+        assert bto.error >= oracle.error - 1e-9
+
+    @given(cost_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_bto_error_is_exact(self, case):
+        n, costs, partition, p = case
+        result = opt_for_part_bto(costs, p, partition, n)
+        recomputed = costs.evaluate(result.decomposition.evaluate(n), p)
+        assert abs(result.error - recomputed) < 1e-9
+
+
+class TestNonDisjoint:
+    @given(cost_instance(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_nd_error_is_exact(self, case, seed):
+        n, costs, partition, p = case
+        if partition.n_bound < 2:
+            return  # ND requires a non-empty reduced bound set
+        rng = np.random.default_rng(seed)
+        shared = partition.bound[0]
+        result = optimize_nondisjoint_shared(
+            costs, p, partition, n, shared, n_initial_patterns=4, rng=rng
+        )
+        recomputed = costs.evaluate(result.decomposition.evaluate(n), p)
+        assert abs(result.error - recomputed) < 1e-9
+
+    @given(cost_instance(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_nd_beats_same_partition_disjoint_oracle_only_downward(
+        self, case, seed
+    ):
+        """The exhaustive disjoint optimum upper-bounds the best ND error
+        achievable (ND strictly generalises disjoint on a partition)."""
+        n, costs, partition, p = case
+        if partition.n_bound < 2:
+            return  # reduced bound set would be empty
+        rng = np.random.default_rng(seed)
+        disjoint = opt_for_part_exhaustive(costs, p, partition, n)
+        best_nd = min(
+            optimize_nondisjoint_shared(
+                costs, p, partition, n, shared, n_initial_patterns=16, rng=rng
+            ).error
+            for shared in partition.bound
+        )
+        # heuristic halves with generous restarts on tiny spaces: the ND
+        # result must not be (meaningfully) worse than the disjoint oracle
+        assert best_nd <= disjoint.error + 1e-9

@@ -1,0 +1,84 @@
+"""Property-based tests for configuration serialisation (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import (
+    BoundOnlyDecomposition,
+    DisjointDecomposition,
+    NonDisjointDecomposition,
+    Partition,
+)
+from repro.core import Setting
+from repro.core.serialize import setting_from_dict, setting_to_dict
+
+
+@st.composite
+def arbitrary_setting(draw):
+    """Any of the three setting flavours over a small variable space."""
+    n = draw(st.integers(4, 6))
+    variables = list(range(n))
+    bound_size = draw(st.integers(2, n - 1))
+    perm = draw(st.permutations(variables))
+    bound = tuple(sorted(perm[:bound_size]))
+    free = tuple(v for v in variables if v not in bound)
+    partition = Partition(free, bound)
+    error = draw(st.floats(0, 1e6, allow_nan=False))
+    flavour = draw(st.sampled_from(["normal", "bto", "nd"]))
+
+    def bits(length):
+        return np.array(
+            draw(st.lists(st.integers(0, 1), min_size=length, max_size=length)),
+            dtype=np.uint8,
+        )
+
+    def types(length):
+        return np.array(
+            draw(st.lists(st.integers(1, 4), min_size=length, max_size=length)),
+            dtype=np.int8,
+        )
+
+    if flavour == "normal":
+        dec = DisjointDecomposition(
+            partition, bits(partition.n_cols), types(partition.n_rows)
+        )
+    elif flavour == "bto":
+        dec = BoundOnlyDecomposition(partition, bits(partition.n_cols))
+    else:
+        shared = draw(st.sampled_from(bound))
+        half_cols = partition.n_cols // 2
+        dec = NonDisjointDecomposition(
+            partition,
+            shared,
+            bits(half_cols),
+            types(partition.n_rows),
+            bits(half_cols),
+            types(partition.n_rows),
+        )
+    return n, Setting(error, dec)
+
+
+class TestSerializationRoundTrip:
+    @given(arbitrary_setting())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_preserves_semantics(self, case):
+        n, setting = case
+        rebuilt = setting_from_dict(setting_to_dict(setting))
+        assert rebuilt.mode == setting.mode
+        assert rebuilt.error == setting.error
+        assert np.array_equal(rebuilt.bits(n), setting.bits(n))
+
+    @given(arbitrary_setting())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_lut_entries(self, case):
+        n, setting = case
+        rebuilt = setting_from_dict(setting_to_dict(setting))
+        assert rebuilt.decomposition.lut_entries() == setting.decomposition.lut_entries()
+
+    @given(arbitrary_setting())
+    @settings(max_examples=40, deadline=None)
+    def test_payload_is_plain_data(self, case):
+        import json
+
+        _, setting = case
+        json.dumps(setting_to_dict(setting))  # must not raise

@@ -1,0 +1,91 @@
+"""Property-based tests of the benchmark workloads (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    BrentKungAdder,
+    build_continuous,
+    build_multiplier,
+    forward_kinematics,
+    inverse_kinematics,
+)
+
+
+class TestBrentKungProperties:
+    @given(
+        st.integers(2, 12),
+        st.lists(st.integers(0, (1 << 12) - 1), min_size=1, max_size=30),
+        st.lists(st.integers(0, (1 << 12) - 1), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adds_exactly(self, width, a_values, b_values):
+        size = min(len(a_values), len(b_values))
+        mask = (1 << width) - 1
+        a = np.array(a_values[:size], dtype=np.int64) & mask
+        b = np.array(b_values[:size], dtype=np.int64) & mask
+        adder = BrentKungAdder(width)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_commutative(self, width):
+        rng = np.random.default_rng(width)
+        a = rng.integers(0, 1 << width, size=20)
+        b = rng.integers(0, 1 << width, size=20)
+        adder = BrentKungAdder(width)
+        assert np.array_equal(adder.add(a, b), adder.add(b, a))
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_cell_count_below_upper_bound(self, width):
+        """Brent-Kung never exceeds 2(w−1) cells (its power-of-two size)."""
+        adder = BrentKungAdder(width)
+        assert adder.n_prefix_cells <= 2 * (width - 1)
+
+
+class TestMultiplierProperties:
+    @given(st.sampled_from([4, 6, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_table_is_product(self, n_inputs):
+        f = build_multiplier(n_inputs)
+        half = n_inputs // 2
+        xs = np.arange(f.size)
+        a, b = xs & ((1 << half) - 1), xs >> half
+        assert np.array_equal(f.table, a * b)
+
+
+class TestQuantisationProperties:
+    @given(st.sampled_from(["cos", "exp", "erf", "ln", "denoise", "tan"]))
+    @settings(max_examples=12, deadline=None)
+    def test_outputs_in_range(self, name):
+        f = build_continuous(name, 8)
+        assert f.table.min() >= 0
+        assert f.table.max() <= 255
+
+    @given(st.sampled_from(["exp", "erf", "ln", "tan"]))
+    @settings(max_examples=8, deadline=None)
+    def test_monotone_functions_quantise_monotonically(self, name):
+        f = build_continuous(name, 8)
+        assert np.all(np.diff(f.table) >= 0)
+
+
+class TestKinematicsProperties:
+    @given(
+        st.floats(0.05, 1.5),
+        st.floats(0.05, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_of_forward_is_identity_on_pose(self, theta1, theta2):
+        t1 = np.array([theta1])
+        t2 = np.array([theta2])
+        x, y = forward_kinematics(t1, t2)
+        r1, r2 = inverse_kinematics(x, y)
+        fx, fy = forward_kinematics(r1, r2)
+        assert np.allclose([fx[0], fy[0]], [x[0], y[0]], atol=1e-9)
+
+    @given(st.floats(0.0, 1.5), st.floats(0.0, 3.1))
+    @settings(max_examples=50, deadline=None)
+    def test_reach_bounded(self, theta1, theta2):
+        x, y = forward_kinematics(np.array([theta1]), np.array([theta2]))
+        assert np.hypot(x[0], y[0]) <= 1.0 + 1e-9  # l1 + l2 = 1

@@ -1,0 +1,103 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "cos"])
+        args_dict = vars(args)
+        assert args_dict["bits"] == 10
+        assert args_dict["architecture"] == "bto-normal-nd"
+        assert args_dict["algorithm"] == "bs-sa"
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "fft"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "brent-kung" in out
+        assert "Table I" in out
+
+    def test_compile_save_info_roundtrip(self, capsys, tmp_path):
+        config_path = tmp_path / "cfg.json"
+        rtl_path = tmp_path / "design.v"
+        assert (
+            main(
+                [
+                    "compile",
+                    "cos",
+                    "--bits",
+                    "8",
+                    "--budget",
+                    "fast",
+                    "--save",
+                    str(config_path),
+                    "--verilog",
+                    str(rtl_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MED:" in out
+        payload = json.loads(config_path.read_text())
+        assert payload["format"] == "repro-approx-lut"
+        assert "module" in rtl_path.read_text()
+
+        assert main(["info", str(config_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-approx-lut" in out
+        assert "modes:" in out
+
+    def test_compile_dalta_algorithm(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "multiplier",
+                    "--bits",
+                    "6",
+                    "--budget",
+                    "fast",
+                    "--algorithm",
+                    "dalta",
+                    "--architecture",
+                    "dalta",
+                ]
+            )
+            == 0
+        )
+        assert "modes: {'normal'" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "smoke"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_table2_smoke(self, capsys):
+        assert main(["experiment", "table2", "--scale", "smoke"]) == 0
+        assert "GEOMEAN" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+
+    def test_experiment_shared_bits(self, capsys):
+        assert main(["experiment", "shared-bits", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Shared-bits study" in out

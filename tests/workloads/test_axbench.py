@@ -1,0 +1,89 @@
+"""Unit tests for the AxBench-style benchmarks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    build_forwardk2j,
+    build_inversek2j,
+    build_multiplier,
+    forward_kinematics,
+    inverse_kinematics,
+)
+
+
+class TestMultiplier:
+    def test_exact_product(self):
+        f = build_multiplier(8)
+        for x in range(256):
+            a, b = x & 0xF, x >> 4
+            assert f.table[x] == a * b
+
+    def test_shape(self):
+        f = build_multiplier(16)
+        assert f.n_inputs == 16
+        assert f.n_outputs == 16
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            build_multiplier(9)
+
+
+class TestKinematicsMath:
+    def test_forward_at_zero(self):
+        x, y = forward_kinematics(np.array([0.0]), np.array([0.0]))
+        assert x[0] == pytest.approx(1.0)  # fully extended: l1 + l2
+        assert y[0] == pytest.approx(0.0)
+
+    def test_forward_folded(self):
+        x, y = forward_kinematics(np.array([0.0]), np.array([math.pi]))
+        assert x[0] == pytest.approx(0.0, abs=1e-12)  # folded back
+
+    def test_inverse_recovers_forward(self, rng):
+        """inverse(forward(theta)) must reproduce the pose."""
+        theta1 = rng.uniform(0.1, math.pi / 2 - 0.1, size=50)
+        theta2 = rng.uniform(0.1, math.pi - 0.1, size=50)
+        x, y = forward_kinematics(theta1, theta2)
+        r1, r2 = inverse_kinematics(x, y)
+        fx, fy = forward_kinematics(r1, r2)
+        assert np.allclose(fx, x, atol=1e-9)
+        assert np.allclose(fy, y, atol=1e-9)
+
+    def test_unreachable_target_clamped(self):
+        t1, t2 = inverse_kinematics(np.array([5.0]), np.array([5.0]))
+        assert np.isfinite(t1[0])
+        assert t2[0] == pytest.approx(0.0)  # arm fully extended
+
+
+class TestQuantisedKernels:
+    def test_forwardk2j_shape_and_range(self):
+        f = build_forwardk2j(8)
+        assert f.n_inputs == 8
+        assert f.n_outputs == 8
+        assert f.table.max() < 256
+
+    def test_forwardk2j_zero_angles(self):
+        f = build_forwardk2j(8)
+        # theta = (0, 0): x = 1 -> full scale in low nibble,
+        # y = 0 -> midpoint in high nibble (range is [-1, 1])
+        word = int(f.table[0])
+        assert word & 0xF == 15
+        assert word >> 4 in (7, 8)
+
+    def test_inversek2j_shape(self):
+        f = build_inversek2j(8)
+        assert f.n_inputs == 8
+        assert f.n_outputs == 8
+
+    def test_inversek2j_nontrivial(self):
+        f = build_inversek2j(10)
+        assert len(np.unique(f.table)) > 16
+
+    def test_noncontinuity(self):
+        """Stitched-operand functions jump at operand boundaries —
+        the reason Taylor-based approximate LUTs cannot host them."""
+        f = build_multiplier(8)
+        jumps = np.abs(np.diff(f.table.astype(np.int64)))
+        assert jumps.max() > 16  # discontinuities across operand wrap

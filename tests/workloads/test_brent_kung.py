@@ -1,0 +1,71 @@
+"""Unit tests for the structural Brent-Kung adder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import BrentKungAdder, build_brent_kung
+
+
+class TestAdditionCorrectness:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 7, 8])
+    def test_exhaustive_small_widths(self, width):
+        adder = BrentKungAdder(width)
+        size = 1 << width
+        a = np.repeat(np.arange(size), size)
+        b = np.tile(np.arange(size), size)
+        np.testing.assert_array_equal(adder.add(a, b), a + b)
+
+    def test_random_wide(self, rng):
+        adder = BrentKungAdder(16)
+        a = rng.integers(0, 1 << 16, size=500)
+        b = rng.integers(0, 1 << 16, size=500)
+        np.testing.assert_array_equal(adder.add(a, b), a + b)
+
+    def test_carry_out(self):
+        adder = BrentKungAdder(4)
+        assert adder.add(np.array([15]), np.array([1]))[0] == 16
+
+
+class TestStructure:
+    def test_power_of_two_cell_count(self):
+        """Classical Brent-Kung size: 2(w-1) - log2(w) black cells."""
+        for width in (2, 4, 8, 16):
+            adder = BrentKungAdder(width)
+            expected = 2 * (width - 1) - int(math.log2(width))
+            assert adder.n_prefix_cells == expected
+
+    def test_logarithmic_depth(self):
+        for width in (4, 8, 16):
+            adder = BrentKungAdder(width)
+            assert adder.depth == 2 * int(math.log2(width)) - 1
+
+    def test_fewer_cells_than_full_prefix(self):
+        """Brent-Kung trades depth for far fewer cells than Kogge-Stone."""
+        width = 16
+        adder = BrentKungAdder(width)
+        kogge_stone = width * int(math.log2(width)) - width + 1
+        assert adder.n_prefix_cells < kogge_stone
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            BrentKungAdder(0)
+
+
+class TestBooleanFunctionView:
+    def test_table1_shape(self):
+        f = build_brent_kung(16)
+        assert f.n_inputs == 16
+        assert f.n_outputs == 9
+        assert f.name == "brent-kung"
+
+    def test_table_is_addition(self):
+        f = build_brent_kung(8)
+        for x in (0, 17, 255):
+            a, b = x & 0xF, x >> 4
+            assert f.table[x] == a + b
+
+    def test_odd_inputs_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            build_brent_kung(7)

@@ -1,0 +1,81 @@
+"""Unit tests for the continuous benchmarks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import CONTINUOUS, build_continuous
+
+
+class TestRegistryContents:
+    def test_all_six_present(self):
+        assert set(CONTINUOUS) == {"cos", "tan", "exp", "ln", "erf", "denoise"}
+
+    def test_table1_domains(self):
+        assert CONTINUOUS["cos"].domain == (0.0, math.pi / 2)
+        assert CONTINUOUS["tan"].domain == (0.0, 2 * math.pi / 5)
+        assert CONTINUOUS["exp"].domain == (0.0, 3.0)
+        assert CONTINUOUS["ln"].domain == (1.0, 10.0)
+        assert CONTINUOUS["erf"].domain == (0.0, 3.0)
+        assert CONTINUOUS["denoise"].domain == (0.0, 3.0)
+
+    def test_table1_ranges(self):
+        assert CONTINUOUS["cos"].value_range == (0.0, 1.0)
+        assert CONTINUOUS["tan"].value_range == (0.0, 3.08)
+        assert CONTINUOUS["exp"].value_range == (0.0, 20.09)
+        assert CONTINUOUS["ln"].value_range == (0.0, 2.30)
+        assert CONTINUOUS["erf"].value_range == (0.0, 1.0)
+        assert CONTINUOUS["denoise"].value_range == (0.0, 0.81)
+
+    def test_describe(self):
+        assert "cos(x)" in CONTINUOUS["cos"].describe()
+
+
+class TestQuantisation:
+    @pytest.mark.parametrize("name", sorted(CONTINUOUS))
+    def test_builds_at_small_width(self, name):
+        f = build_continuous(name, n_inputs=8)
+        assert f.n_inputs == 8
+        assert f.n_outputs == 8
+        assert f.table.min() >= 0
+        assert f.table.max() <= 255
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_continuous("sinh")
+
+    def test_cos_monotone_decreasing(self):
+        f = build_continuous("cos", 10)
+        diffs = np.diff(f.table)
+        assert np.all(diffs <= 0)
+
+    def test_exp_monotone_increasing(self):
+        f = build_continuous("exp", 10)
+        assert np.all(np.diff(f.table) >= 0)
+
+    def test_exp_covers_range(self):
+        f = build_continuous("exp", 10)
+        # exp(0) = 1 on the [0, 20.09] range -> level round(1023/20.09)
+        assert f.table[0] == round(1023 / 20.09)
+        # exp(3) = 20.0855 against range max 20.09: top level reached
+        assert f.table[-1] == (1 << 10) - 1
+
+    def test_denoise_matches_declared_range(self):
+        f = build_continuous("denoise", 10)
+        assert f.table[0] == (1 << 10) - 1  # peak 0.81 at x = 0
+        assert f.table[-1] <= 2  # essentially zero at x = 3
+
+    def test_ln_endpoints(self):
+        f = build_continuous("ln", 10)
+        assert f.table[0] == 0  # ln(1) = 0
+        # ln(10) = 2.3026 vs range max 2.30 -> clipped to full scale
+        assert f.table[-1] == (1 << 10) - 1
+
+    def test_quantisation_error_bounded(self):
+        """Quantised cos must track the analytic function closely."""
+        n = 10
+        f = build_continuous("cos", n)
+        xs = np.linspace(0, math.pi / 2, 1 << n)
+        analytic = np.cos(xs) * ((1 << n) - 1)
+        assert np.max(np.abs(f.table - analytic)) <= 1.0

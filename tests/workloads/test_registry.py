@@ -1,0 +1,62 @@
+"""Unit tests for the benchmark registry (Table I)."""
+
+import pytest
+
+from repro.workloads import (
+    continuous_names,
+    get,
+    names,
+    noncontinuous_names,
+    specs,
+    table1_rows,
+)
+
+
+class TestNames:
+    def test_ten_benchmarks(self):
+        assert len(names()) == 10
+        assert len(continuous_names()) == 6
+        assert len(noncontinuous_names()) == 4
+
+    def test_table1_order(self):
+        assert names()[:6] == ["cos", "tan", "exp", "ln", "erf", "denoise"]
+        assert names()[6:] == [
+            "brent-kung",
+            "forwardk2j",
+            "inversek2j",
+            "multiplier",
+        ]
+
+
+class TestGet:
+    @pytest.mark.parametrize("name", ["cos", "brent-kung", "multiplier"])
+    def test_builds(self, name):
+        f = get(name, n_inputs=8)
+        assert f.n_inputs == 8
+        assert f.name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get("fft")
+
+    def test_paper_scale_shapes(self):
+        spec_map = specs()
+        assert spec_map["brent-kung"].outputs_for(16) == 9
+        assert spec_map["cos"].outputs_for(16) == 16
+        assert spec_map["multiplier"].outputs_for(16) == 16
+
+
+class TestTable1Rows:
+    def test_rows_complete(self):
+        rows = table1_rows(16)
+        assert len(rows) == 10
+        by_name = {row["benchmark"]: row for row in rows}
+        assert by_name["brent-kung"]["n_outputs"] == 9
+        assert by_name["cos"]["domain"] == (0.0, pytest.approx(1.5708, abs=1e-3))
+
+    def test_continuous_rows_have_ranges(self):
+        for row in table1_rows(8):
+            if row["kind"] == "continuous":
+                assert "range" in row
+            else:
+                assert "range" not in row
