@@ -9,6 +9,13 @@ Two parts:
 2. per-algorithm timing benches on a representative benchmark, which
    correspond to the paper's "Time (s)" columns (BS-SA should come in
    around half of DALTA's runtime because P = 500 vs 1000).
+
+Pass ``--progress`` to print one stderr line per completed algorithm
+run (benchmark, algorithm, seed, elapsed) via the ``repro.obs`` stderr
+sink, and to append a run manifest next to the published outputs::
+
+    REPRO_SCALE=default pytest benchmarks/bench_table2_algorithms.py \
+        --benchmark-only --progress
 """
 
 import numpy as np

@@ -12,13 +12,60 @@ Every regeneration bench writes its rendered table and raw JSON to
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.experiments import ExperimentScale
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--progress",
+        action="store_true",
+        default=False,
+        help="print one stderr line per completed algorithm run "
+        "(enables the repro.obs stderr sink for the bench session)",
+    )
+
+
+class _UncapturedStderr:
+    """Stream that writes past pytest's output capture.
+
+    Progress lines are emitted while a bench test is running, when
+    pytest has already redirected the stderr file descriptor; without
+    this bypass ``--progress`` would only show anything under ``-s``.
+    """
+
+    def __init__(self, capman) -> None:
+        self._capman = capman
+
+    def write(self, text: str) -> None:
+        if self._capman is not None:
+            with self._capman.global_and_fixture_disabled():
+                sys.stderr.write(text)
+                sys.stderr.flush()
+        else:
+            sys.stderr.write(text)
+
+    def flush(self) -> None:
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry(request):
+    """Session telemetry: on with ``--progress``, off (no-op) otherwise."""
+    if not request.config.getoption("--progress"):
+        yield None
+        return
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+    stream = _UncapturedStderr(capman)
+    with obs.session(obs.MemorySink(), obs.StderrSink(stream=stream)) as session:
+        yield session
 
 
 def selected_scale() -> ExperimentScale:
@@ -48,10 +95,38 @@ def output_dir() -> Path:
 
 
 def publish(output_dir: Path, name: str, rendered: str, payload=None) -> None:
-    """Write a rendered table (and raw JSON) to the output directory."""
+    """Write a rendered table (and raw JSON) to the output directory.
+
+    When a telemetry session is active (``--progress``), a run manifest
+    — config hash, spawned seeds, git revision, per-phase timings — is
+    appended as JSONL next to the published outputs.
+    """
     (output_dir / f"{name}.txt").write_text(rendered + "\n")
     if payload is not None:
         from repro.experiments import reporting
 
         reporting.to_json(payload, str(output_dir / f"{name}.json"))
+    _publish_manifest(output_dir, name)
     print("\n" + rendered)
+
+
+def _publish_manifest(output_dir: Path, name: str) -> None:
+    session = obs.current()
+    if session is None:
+        return
+    memory = next(
+        (s for s in session.sinks if isinstance(s, obs.MemorySink)), None
+    )
+    records = list(memory.records) if memory is not None else []
+    records.append(session.counters_record())
+    summary = obs.summarize.summarize(records)
+    manifest = obs.RunManifest.build(
+        command=f"bench:{name}",
+        config={"scale": os.environ.get("REPRO_SCALE", "default")},
+        counters=summary.counters,
+        phase_timings=summary.phase_timings(),
+    )
+    if memory is not None:
+        for event in memory.events("run.seeded"):
+            manifest.add_seed(event.get("attrs", {}))
+    manifest.append_to(str(output_dir / f"{name}.manifest.jsonl"))

@@ -10,11 +10,17 @@
 
 ``--scale paper`` runs the exact Section V configuration (16-bit
 functions, P = 500/1000, 10 runs) — expect hours in pure Python.
+
+``--progress`` prints one stderr line per completed algorithm run
+(benchmark, algorithm, seed, elapsed); ``--trace out.jsonl`` records a
+full telemetry trace (see ``docs/observability.md``).
 """
 
 import argparse
+import contextlib
 import sys
 
+from repro import obs
 from repro.experiments import (
     ExperimentScale,
     run_ablation,
@@ -46,7 +52,22 @@ def main(argv=None) -> int:
         help="which ablation to run",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one stderr line per completed algorithm run",
+    )
+    parser.add_argument(
+        "--trace", help="record a JSONL telemetry trace at this path"
+    )
     args = parser.parse_args(argv)
+
+    sinks = []
+    if args.trace:
+        sinks.append(obs.JsonlSink(args.trace))
+    if args.progress:
+        sinks.append(obs.StderrSink())
+    telemetry = obs.session(*sinks) if sinks else contextlib.nullcontext()
 
     scale = SCALES[args.scale]()
     runners = {
@@ -59,10 +80,13 @@ def main(argv=None) -> int:
     chosen = (
         list(runners) if args.experiment == "all" else [args.experiment]
     )
-    for name in chosen:
-        print(f"\n=== {name} (scale={args.scale}) ===\n")
-        result = runners[name]()
-        print(result.render())
+    with telemetry:
+        for name in chosen:
+            print(f"\n=== {name} (scale={args.scale}) ===\n")
+            result = runners[name]()
+            print(result.render())
+    if args.trace:
+        print(f"\ntelemetry trace written to {args.trace}")
     return 0
 
 

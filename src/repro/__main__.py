@@ -12,15 +12,22 @@ Commands
     ablation) at a chosen scale.
 ``info``
     Describe a saved configuration file.
+``summarize``
+    Per-phase breakdown of a telemetry trace file.
+
+Every command accepts ``--trace out.jsonl`` (record a JSONL telemetry
+trace plus a run manifest) and ``--verbose`` (stderr progress lines);
+see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from . import AlgorithmConfig, approximate, workloads
+from . import AlgorithmConfig, approximate, obs, workloads
 from .core import serialize
 from .experiments import (
     ExperimentScale,
@@ -115,15 +122,46 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_summarize(args) -> int:
+    try:
+        summary = obs.summarize.summarize(args.path)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.path} is not a JSONL trace "
+            f"(line {exc.lineno}: {exc.msg})",
+            file=sys.stderr,
+        )
+        return 2
+    print(summary.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a JSONL telemetry trace (plus run manifest) here",
+    )
+    telemetry.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print progress/span lines to stderr while running",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show the benchmark suite").set_defaults(
-        func=_cmd_list
-    )
+    sub.add_parser(
+        "list", help="show the benchmark suite", parents=[telemetry]
+    ).set_defaults(func=_cmd_list)
 
-    compile_parser = sub.add_parser("compile", help="compile a benchmark")
+    compile_parser = sub.add_parser(
+        "compile", help="compile a benchmark", parents=[telemetry]
+    )
     compile_parser.add_argument("benchmark", choices=workloads.names())
     compile_parser.add_argument("--bits", type=int, default=10)
     compile_parser.add_argument(
@@ -143,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.set_defaults(func=_cmd_compile)
 
     experiment_parser = sub.add_parser(
-        "experiment", help="rerun a paper experiment"
+        "experiment", help="rerun a paper experiment", parents=[telemetry]
     )
     experiment_parser.add_argument(
         "name",
@@ -164,15 +202,69 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--seed", type=int)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
-    info_parser = sub.add_parser("info", help="describe a saved configuration")
+    info_parser = sub.add_parser(
+        "info", help="describe a saved configuration", parents=[telemetry]
+    )
     info_parser.add_argument("path")
     info_parser.set_defaults(func=_cmd_info)
+
+    summarize_parser = sub.add_parser(
+        "summarize", help="per-phase breakdown of a trace file"
+    )
+    summarize_parser.add_argument("path")
+    summarize_parser.set_defaults(func=_cmd_summarize)
     return parser
+
+
+def _run_traced(args) -> int:
+    """Execute a command under a telemetry session.
+
+    Builds the sinks requested on the command line, wraps the command
+    in a root span, then (when tracing to a file) appends a run
+    manifest — config hash of the full invocation, spawned seeds, git
+    revision, per-phase timings — and prints the phase breakdown.
+    """
+    from .experiments import reporting
+
+    memory = obs.MemorySink()
+    sinks: list = [memory]
+    if args.trace:
+        sinks.append(obs.JsonlSink(args.trace))
+    if args.verbose:
+        sinks.append(obs.StderrSink(verbose=True))
+
+    with obs.session(*sinks):
+        with obs.span(f"cli.{args.command}"):
+            status = args.func(args)
+
+    summary = obs.summarize.summarize(memory.records)
+    if args.trace:
+        invocation = {
+            key: value
+            for key, value in vars(args).items()
+            if key not in ("func",)
+        }
+        manifest = obs.RunManifest.build(
+            command=f"repro {args.command}",
+            config=invocation,
+            base_seed=getattr(args, "seed", None),
+            counters=summary.counters,
+            phase_timings=summary.phase_timings(),
+        )
+        for record in memory.events("run.seeded"):
+            manifest.add_seed(record.get("attrs", {}))
+        manifest.append_to(args.trace)
+        print(f"telemetry trace + manifest written to {args.trace}")
+    if summary.phases:
+        print(reporting.format_phase_timings(summary.phase_timings()))
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None) or getattr(args, "verbose", False):
+        return _run_traced(args)
     return args.func(args)
 
 

@@ -9,7 +9,7 @@ of the word is the paper's :math:`x_{i+1}`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 

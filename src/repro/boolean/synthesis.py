@@ -8,7 +8,7 @@ formats consumed by the Verilog emitter (`$readmemh`/`$readmemb`).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -16,7 +16,6 @@ from .decomposition import (
     DisjointDecomposition,
     MultiSharedDecomposition,
     NonDisjointDecomposition,
-    RowType,
 )
 
 __all__ = [

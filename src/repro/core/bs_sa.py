@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..boolean.function import BooleanFunction
 from ..boolean.partition import Partition, partition_count, random_partition
 from ..metrics import distributions
@@ -130,6 +131,7 @@ def find_best_settings(
             rng=rng,
         )
         stats.opt_for_part_calls += 1
+        obs.incr("sa.partitions_evaluated")
         beam.push(Setting(result.error, result.decomposition))
         if collect_bto:
             bto = opt_for_part_bto(costs, p, partition, n_inputs)
@@ -178,46 +180,56 @@ def find_best_settings(
     # Lines 4-19: the SA main loop.
     while len(visited) < budget and chains:
         changed = False
-        for chain in chains:
+        for chain_index, chain in enumerate(chains):
             if len(visited) >= budget:
                 break
-            neighbours = chain["current"].sample_neighbours(
-                config.n_neighbours, rng
-            )
-            stats.sa_iterations += 1
-            best_nb: Optional[Partition] = None
-            best_nb_error = math.inf
-            for neighbour in neighbours:
-                if neighbour not in visited:
-                    if len(visited) >= budget:
-                        break
-                    error = visit(neighbour)
-                    visited[neighbour] = error
-                    changed = True
-                    if error < best_error:
-                        best_error = error
-                else:
-                    error = visited[neighbour]
-                if error < best_nb_error:
-                    best_nb, best_nb_error = neighbour, error
-
-            if best_nb is not None:
-                if best_nb_error <= chain["error"]:
-                    chain["current"], chain["error"] = best_nb, best_nb_error
-                else:
-                    denom = chain["temperature"] * best_error
-                    if denom > 0:
-                        accept = math.exp(
-                            (chain["error"] - best_nb_error) / denom
-                        )
+            with obs.span(
+                "bssa.sa_iteration",
+                chain=chain_index,
+                visited=len(visited),
+            ):
+                neighbours = chain["current"].sample_neighbours(
+                    config.n_neighbours, rng
+                )
+                stats.sa_iterations += 1
+                obs.incr("sa.iterations")
+                best_nb: Optional[Partition] = None
+                best_nb_error = math.inf
+                for neighbour in neighbours:
+                    if neighbour not in visited:
+                        if len(visited) >= budget:
+                            break
+                        error = visit(neighbour)
+                        visited[neighbour] = error
+                        changed = True
+                        if error < best_error:
+                            best_error = error
                     else:
-                        accept = 0.0
-                    if rng.random() < accept:
-                        chain["current"], chain["error"] = (
-                            best_nb,
-                            best_nb_error,
-                        )
-            chain["temperature"] *= config.cooling_factor
+                        error = visited[neighbour]
+                    if error < best_nb_error:
+                        best_nb, best_nb_error = neighbour, error
+
+                if best_nb is not None:
+                    if best_nb_error <= chain["error"]:
+                        chain["current"], chain["error"] = best_nb, best_nb_error
+                        obs.incr("sa.moves_accepted")
+                    else:
+                        denom = chain["temperature"] * best_error
+                        if denom > 0:
+                            accept = math.exp(
+                                (chain["error"] - best_nb_error) / denom
+                            )
+                        else:
+                            accept = 0.0
+                        if rng.random() < accept:
+                            chain["current"], chain["error"] = (
+                                best_nb,
+                                best_nb_error,
+                            )
+                            obs.incr("sa.moves_accepted_uphill")
+                        else:
+                            obs.incr("sa.moves_rejected")
+                chain["temperature"] *= config.cooling_factor
 
         stall = stall + 1 if not changed else 0
         if stall >= config.stall_iterations:
@@ -309,81 +321,108 @@ def run_bssa(
     m = target.n_outputs
     history: List[float] = []
 
-    # ------------------------------------------------------------------
-    # Round 1 (Algorithm 1 lines 1-10): beam search, MSB -> LSB, with the
-    # predictive model standing in for the not-yet-approximated LSBs.
-    # ------------------------------------------------------------------
-    beams: List[Tuple[float, SettingSequence]] = [(math.inf, SettingSequence(m))]
-    for k in range(m - 1, -1, -1):
-        pool: List[Tuple[float, SettingSequence]] = []
-        for _, sequence in beams:
-            msb = sequence.msb_word(target, k)
-            if lsb_model == "predictive":
-                costs = cost_vectors_predictive(target, msb, k)
-            else:
-                costs = cost_vectors_accurate_lsb(target, msb, k)
-            costs = apply_objective(costs, config.objective)
-            found = find_best_settings(
-                costs,
-                p,
-                target.n_inputs,
-                config,
-                rng,
-                stats,
-                partition_search=partition_search,
-            )
-            for setting in found.settings:
-                pool.append((setting.error, sequence.replace(k, setting)))
-        pool.sort(key=lambda item: item[0])
-        beams = pool[: config.n_beam]
-    best_sequence = beams[0][1]
-    history.append(best_sequence.med(target, p))
-
-    # ------------------------------------------------------------------
-    # Later rounds (lines 11-15): greedy refinement in the fixed context,
-    # with architecture-aware mode selection when requested.
-    # ------------------------------------------------------------------
-    refinement_rounds = config.rounds - 1
-    if architecture != "normal":
-        refinement_rounds = max(1, refinement_rounds)
-    for _ in range(refinement_rounds):
+    with obs.span(
+        "bssa.run",
+        benchmark=target.name,
+        architecture=architecture,
+        n_inputs=target.n_inputs,
+        n_outputs=m,
+    ):
+        # --------------------------------------------------------------
+        # Round 1 (Algorithm 1 lines 1-10): beam search, MSB -> LSB, with
+        # the predictive model standing in for the not-yet-approximated
+        # LSBs.
+        # --------------------------------------------------------------
+        beams: List[Tuple[float, SettingSequence]] = [
+            (math.inf, SettingSequence(m))
+        ]
         for k in range(m - 1, -1, -1):
-            rest = best_sequence.rest_word(target, k)
-            costs = apply_objective(
-                cost_vectors_fixed(target, rest, k), config.objective
-            )
-            found = find_best_settings(
-                costs,
-                p,
-                target.n_inputs,
-                config,
-                rng,
-                stats,
-                n_beam=max(1, config.nd_candidates)
-                if architecture == "bto-normal-nd"
-                else 1,
-                collect_bto=architecture != "normal",
-                partition_search=partition_search,
-            )
-            normal = found.best
-            current = best_sequence[k]
-            if config.monotone_rounds and current is not None:
-                # Re-evaluate the incumbent in the *current* context so
-                # the comparison is apples-to-apples.
-                incumbent_error = costs.evaluate(
-                    current.decomposition.evaluate(target.n_inputs), p
-                )
-                if incumbent_error <= normal.error and current.mode == "normal":
-                    normal = Setting(incumbent_error, current.decomposition)
-
-            nd = None
-            if architecture == "bto-normal-nd":
-                nd = _nd_setting(
-                    costs, p, target.n_inputs, found.settings, config, rng, stats
-                )
-            chosen = select_mode(normal, found.bto, nd, config, architecture)
-            best_sequence = best_sequence.replace(k, chosen)
+            with obs.span("bssa.beam_round", bit=k, beam=len(beams)):
+                pool: List[Tuple[float, SettingSequence]] = []
+                for _, sequence in beams:
+                    msb = sequence.msb_word(target, k)
+                    if lsb_model == "predictive":
+                        costs = cost_vectors_predictive(target, msb, k)
+                        obs.incr("bssa.predictive_model_calls")
+                    else:
+                        costs = cost_vectors_accurate_lsb(target, msb, k)
+                    costs = apply_objective(costs, config.objective)
+                    found = find_best_settings(
+                        costs,
+                        p,
+                        target.n_inputs,
+                        config,
+                        rng,
+                        stats,
+                        partition_search=partition_search,
+                    )
+                    for setting in found.settings:
+                        pool.append((setting.error, sequence.replace(k, setting)))
+                pool.sort(key=lambda item: item[0])
+                beams = pool[: config.n_beam]
+        best_sequence = beams[0][1]
         history.append(best_sequence.med(target, p))
+
+        # --------------------------------------------------------------
+        # Later rounds (lines 11-15): greedy refinement in the fixed
+        # context, with architecture-aware mode selection when requested.
+        # --------------------------------------------------------------
+        refinement_rounds = config.rounds - 1
+        if architecture != "normal":
+            refinement_rounds = max(1, refinement_rounds)
+        for round_index in range(refinement_rounds):
+            with obs.span("bssa.refine_round", round=round_index + 2):
+                for k in range(m - 1, -1, -1):
+                    with obs.span("bssa.refine_bit", bit=k):
+                        rest = best_sequence.rest_word(target, k)
+                        costs = apply_objective(
+                            cost_vectors_fixed(target, rest, k), config.objective
+                        )
+                        found = find_best_settings(
+                            costs,
+                            p,
+                            target.n_inputs,
+                            config,
+                            rng,
+                            stats,
+                            n_beam=max(1, config.nd_candidates)
+                            if architecture == "bto-normal-nd"
+                            else 1,
+                            collect_bto=architecture != "normal",
+                            partition_search=partition_search,
+                        )
+                        normal = found.best
+                        current = best_sequence[k]
+                        if config.monotone_rounds and current is not None:
+                            # Re-evaluate the incumbent in the *current*
+                            # context so the comparison is apples-to-apples.
+                            incumbent_error = costs.evaluate(
+                                current.decomposition.evaluate(target.n_inputs), p
+                            )
+                            if (
+                                incumbent_error <= normal.error
+                                and current.mode == "normal"
+                            ):
+                                normal = Setting(
+                                    incumbent_error, current.decomposition
+                                )
+
+                        nd = None
+                        if architecture == "bto-normal-nd":
+                            nd = _nd_setting(
+                                costs,
+                                p,
+                                target.n_inputs,
+                                found.settings,
+                                config,
+                                rng,
+                                stats,
+                            )
+                        chosen = select_mode(
+                            normal, found.bto, nd, config, architecture
+                        )
+                        best_sequence = best_sequence.replace(k, chosen)
+            history.append(best_sequence.med(target, p))
 
     elapsed = time.perf_counter() - start
     return ApproximationResult(

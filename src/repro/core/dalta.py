@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..boolean.function import BooleanFunction
 from ..boolean.partition import partition_count, random_partition
 from ..metrics import distributions
@@ -64,41 +65,57 @@ def run_dalta(
     history = []
     max_partitions = partition_count(target.n_inputs, config.bound_size)
 
-    for _ in range(config.rounds):
-        for k in range(target.n_outputs - 1, -1, -1):
-            # Fixed-context costs: unoptimised bits read as accurate
-            # (round 1), optimised bits as their latest versions.
-            rest = sequence.rest_word(target, k)
-            costs = apply_objective(
-                cost_vectors_fixed(target, rest, k), config.objective
-            )
+    with obs.span(
+        "dalta.run",
+        benchmark=target.name,
+        n_inputs=target.n_inputs,
+        n_outputs=target.n_outputs,
+    ):
+        for round_index in range(config.rounds):
+            with obs.span("dalta.round", round=round_index + 1):
+                for k in range(target.n_outputs - 1, -1, -1):
+                    with obs.span("dalta.bit", bit=k):
+                        # Fixed-context costs: unoptimised bits read as
+                        # accurate (round 1), optimised bits as their
+                        # latest versions.
+                        rest = sequence.rest_word(target, k)
+                        costs = apply_objective(
+                            cost_vectors_fixed(target, rest, k),
+                            config.objective,
+                        )
 
-            best_setting: Optional[Setting] = None
-            seen = set()
-            budget = min(config.partition_limit, max_partitions)
-            attempts = 0
-            while len(seen) < budget and attempts < 20 * budget:
-                attempts += 1
-                partition = random_partition(
-                    target.n_inputs, config.bound_size, rng
-                )
-                if partition in seen:
-                    continue
-                seen.add(partition)
-                result = opt_for_part(
-                    costs,
-                    p,
-                    partition,
-                    target.n_inputs,
-                    n_initial_patterns=config.n_initial_patterns,
-                    rng=rng,
-                )
-                stats.opt_for_part_calls += 1
-                if best_setting is None or result.error < best_setting.error:
-                    best_setting = Setting(result.error, result.decomposition)
-            stats.partitions_visited += len(seen)
-            sequence = sequence.replace(k, best_setting)
-        history.append(sequence.med(target, p))
+                        best_setting: Optional[Setting] = None
+                        seen = set()
+                        budget = min(config.partition_limit, max_partitions)
+                        attempts = 0
+                        while len(seen) < budget and attempts < 20 * budget:
+                            attempts += 1
+                            partition = random_partition(
+                                target.n_inputs, config.bound_size, rng
+                            )
+                            if partition in seen:
+                                continue
+                            seen.add(partition)
+                            result = opt_for_part(
+                                costs,
+                                p,
+                                partition,
+                                target.n_inputs,
+                                n_initial_patterns=config.n_initial_patterns,
+                                rng=rng,
+                            )
+                            stats.opt_for_part_calls += 1
+                            obs.incr("dalta.partitions_evaluated")
+                            if (
+                                best_setting is None
+                                or result.error < best_setting.error
+                            ):
+                                best_setting = Setting(
+                                    result.error, result.decomposition
+                                )
+                        stats.partitions_visited += len(seen)
+                        sequence = sequence.replace(k, best_setting)
+            history.append(sequence.med(target, p))
 
     elapsed = time.perf_counter() - start
     return ApproximationResult(

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..boolean.decomposition import (
     BoundOnlyDecomposition,
     DisjointDecomposition,
@@ -138,12 +139,43 @@ def opt_for_part(
         rng = np.random.default_rng()
     if n_initial_patterns < 1:
         raise ValueError("n_initial_patterns must be >= 1")
+    # Hot path: the disabled-telemetry branch avoids even the no-op
+    # span allocation — this function dominates both algorithms.
+    if not obs.enabled():
+        return _opt_for_part_impl(
+            costs, p, partition, n_inputs, n_initial_patterns, rng, max_sweeps
+        )[0]
+    with obs.span(
+        "opt.for_part", n_bound=partition.n_bound, n_free=partition.n_free
+    ) as span:
+        result, sweeps = _opt_for_part_impl(
+            costs, p, partition, n_inputs, n_initial_patterns, rng, max_sweeps
+        )
+        span.set(sweeps=sweeps, error=result.error)
+        obs.incr("opt.calls")
+        obs.incr("opt.sweeps", sweeps)
+        obs.incr("opt.lut_entries", 2 << (n_inputs - 1))
+        return result
+
+
+def _opt_for_part_impl(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    n_initial_patterns: int,
+    rng: np.random.Generator,
+    max_sweeps: int,
+) -> Tuple[OptForPartResult, int]:
+    """The alternating optimisation; returns (result, sweep count)."""
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
     n_cols = partition.n_cols
     patterns = rng.integers(0, 2, size=(n_initial_patterns, n_cols), dtype=np.uint8)
 
     types, totals = _optimal_types(d0, d1, patterns)
+    sweeps = 0
     for _ in range(max_sweeps):
+        sweeps += 1
         patterns, _ = _optimal_patterns(d0, d1, types)
         types, new_totals = _optimal_types(d0, d1, patterns)
         converged = np.all(new_totals >= totals - 1e-12)
@@ -153,7 +185,7 @@ def opt_for_part(
 
     best = int(np.argmin(totals))
     decomposition = DisjointDecomposition(partition, patterns[best], types[best])
-    return OptForPartResult(float(totals[best]), decomposition)
+    return OptForPartResult(float(totals[best]), decomposition), sweeps
 
 
 def opt_for_part_bto(
@@ -164,6 +196,7 @@ def opt_for_part_bto(
     With ``T`` fixed, the optimal ``V`` decomposes per column and is
     found exactly — no random restarts, no alternation.
     """
+    obs.incr("opt.bto_calls")
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
     cost_zero = d0.sum(axis=0)
     cost_one = d1.sum(axis=0)

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..core.bs_sa import run_bssa
 from . import reporting

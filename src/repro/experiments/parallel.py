@@ -6,16 +6,27 @@ port instead parallelises at the coarser repeated-run granularity
 state and keeps every run bit-identical to its serial counterpart.
 
 Workers receive plain data (truth table, config, seed) so the jobs
-pickle cleanly on every platform.
+pickle cleanly on every platform.  Seeding uses
+``np.random.SeedSequence(base_seed).spawn(...)`` — the same spawn the
+serial :func:`repro.experiments.runner.repeated_runs` performs — so a
+parallel run is provably bit-identical to the serial one, and
+:meth:`RunSpec.seed_info` exposes the spawned seed for run manifests.
+
+When a telemetry session is active (:mod:`repro.obs`), worker
+processes capture their spans/counters in memory and ship them back
+with each result; the parent folds them into its own session as
+futures complete (a results queue), so one trace file holds the whole
+multi-process run and progress lines appear as runs finish.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..boolean.function import BooleanFunction
 from ..core.bs_sa import run_bssa
 from ..core.config import AlgorithmConfig
@@ -74,14 +85,39 @@ class RunSpec:
             architecture,
         )
 
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The spawned child seed, exactly as the serial runner spawns it.
+
+        ``SeedSequence(base_seed).spawn(k)[i]`` is the canonical spawn
+        the serial :func:`repeated_runs` performs, so worker run ``i``
+        is bit-identical to serial run ``i`` by construction.
+        """
+        return np.random.SeedSequence(self.base_seed).spawn(
+            self.spawn_index + 1
+        )[self.spawn_index]
+
+    def seed_info(self) -> Dict[str, Any]:
+        """Manifest record of the spawned seed driving this run."""
+        sequence = self.seed_sequence()
+        return {
+            "benchmark": self.name,
+            "algorithm": self.algorithm,
+            "base_seed": self.base_seed,
+            "spawn_index": self.spawn_index,
+            "spawn_key": list(sequence.spawn_key),
+            "state": [int(w) for w in sequence.generate_state(4)],
+        }
+
     def _rng(self) -> np.random.Generator:
         """Identical to run ``spawn_index`` of the serial repeated_runs."""
-        sequence = np.random.SeedSequence(
-            self.base_seed, spawn_key=(self.spawn_index,)
-        )
-        return np.random.default_rng(sequence)
+        return np.random.default_rng(self.seed_sequence())
 
     def execute(self) -> ApproximationResult:
+        # Re-seed the legacy global NumPy state from the same spawned
+        # sequence: the algorithms only use the explicit generator, but
+        # this pins down any incidental np.random.* use in workloads.
+        sequence = self.seed_sequence()
+        np.random.seed(int(sequence.generate_state(1)[0]) % (2**32))
         target = BooleanFunction(
             self.n_inputs, self.n_outputs, self.table, name=self.name
         )
@@ -96,20 +132,77 @@ def _execute(spec: RunSpec) -> ApproximationResult:
     return spec.execute()
 
 
+def _execute_traced(
+    spec: RunSpec,
+) -> Tuple[ApproximationResult, List[Dict[str, Any]]]:
+    """Worker entry point when the parent has telemetry enabled.
+
+    Runs under a fresh in-memory session and returns the captured
+    records (spans, events, final counter snapshot) with the result.
+    """
+    sink = obs.MemorySink()
+    with obs.session(sink):
+        result = spec.execute()
+    return result, sink.records
+
+
 def seeds_for(n_runs: int, base_seed: Optional[int]) -> List[int]:
     """Spawn indices matching the serial :func:`repeated_runs` seeds."""
     return list(range(n_runs))
+
+
+def _notify_completed(spec: RunSpec, result: ApproximationResult, **attrs) -> None:
+    obs.event(
+        "run.completed",
+        benchmark=spec.name,
+        algorithm=spec.algorithm,
+        seed=spec.spawn_index,
+        elapsed=result.elapsed_seconds,
+        **attrs,
+    )
 
 
 def run_many(specs: Sequence[RunSpec], n_jobs: int = 1) -> List[ApproximationResult]:
     """Execute run specs, serially or across worker processes.
 
     Results come back in spec order regardless of completion order, so
-    downstream statistics are independent of ``n_jobs``.
+    downstream statistics are independent of ``n_jobs``.  Under an
+    active telemetry session, worker telemetry is aggregated into the
+    parent session as each future completes and a ``run.completed``
+    event (one progress line on the stderr sink) fires per run.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    telemetry = obs.current()
+    if telemetry is not None:
+        for spec in specs:
+            telemetry.event("run.seeded", **spec.seed_info())
     if n_jobs == 1 or len(specs) <= 1:
-        return [spec.execute() for spec in specs]
+        results = []
+        for spec in specs:
+            result = spec.execute()
+            if telemetry is not None:
+                _notify_completed(spec, result)
+            results.append(result)
+        return results
+
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(_execute, specs))
+        if telemetry is None:
+            return list(pool.map(_execute, specs))
+        # Results queue: drain futures as they complete so worker
+        # telemetry and progress surface while later runs still execute.
+        futures = {
+            pool.submit(_execute_traced, spec): index
+            for index, spec in enumerate(specs)
+        }
+        results: List[Optional[ApproximationResult]] = [None] * len(specs)
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                result, records = future.result()
+                telemetry.absorb(records, worker=index)
+                results[index] = result
+                _notify_completed(specs[index], result, worker=index)
+        return results  # type: ignore[return-value]

@@ -16,6 +16,7 @@ __all__ = [
     "normalize_to",
     "format_table",
     "format_value",
+    "format_phase_timings",
     "to_json",
     "summarize_runs",
 ]
@@ -73,6 +74,35 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_phase_timings(
+    phase_timings: Dict[str, Dict[str, float]],
+    title: str = "Phase timings (wall clock)",
+) -> str:
+    """Render a telemetry phase rollup as a table.
+
+    ``phase_timings`` is the manifest-form mapping produced by
+    :meth:`repro.obs.summarize.TraceSummary.phase_timings` — span name
+    to ``{"count": ..., "total": ...}`` — appended to the experiment
+    text reports when a trace is being recorded.
+    """
+    rows = [
+        [
+            name,
+            int(stats.get("count", 0)),
+            stats.get("total", 0.0),
+            stats.get("total", 0.0) / max(1, stats.get("count", 0)),
+        ]
+        for name, stats in sorted(
+            phase_timings.items(),
+            key=lambda item: item[1].get("total", 0.0),
+            reverse=True,
+        )
+    ]
+    return format_table(
+        ["phase", "count", "total(s)", "mean(s)"], rows, title=title
+    )
 
 
 def summarize_runs(meds: Sequence[float]) -> Dict[str, float]:

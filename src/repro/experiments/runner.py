@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..boolean.function import BooleanFunction
 from ..core.config import AlgorithmConfig
 from ..core.result import ApproximationResult
@@ -101,4 +102,27 @@ def repeated_runs(
     """
     seed_seq = np.random.SeedSequence(base_seed)
     children = seed_seq.spawn(n_runs)
-    return [run(np.random.default_rng(child)) for child in children]
+    results: List[ApproximationResult] = []
+    for index, child in enumerate(children):
+        if obs.enabled():
+            obs.event(
+                "run.seeded",
+                base_seed=base_seed,
+                spawn_index=index,
+                spawn_key=list(child.spawn_key),
+                state=[int(w) for w in child.generate_state(4)],
+            )
+        with obs.span("experiment.run", run=index):
+            result = run(np.random.default_rng(child))
+        if obs.enabled():
+            obs.event(
+                "run.completed",
+                benchmark=getattr(
+                    getattr(result, "target", None), "name", None
+                ),
+                algorithm=getattr(result, "algorithm", None),
+                seed=index,
+                elapsed=getattr(result, "elapsed_seconds", None),
+            )
+        results.append(result)
+    return results

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.bs_sa import run_bssa
 from ..core.dalta import run_dalta
 from . import reporting
@@ -156,43 +157,46 @@ def run_table2(
     result = Table2Result(scale.name, scale.n_inputs, scale.n_runs)
 
     for name, target in suite.items():
-        if scale.n_jobs > 1:
-            from .parallel import RunSpec, run_many
+        with obs.span("table2.benchmark", benchmark=name):
+            if scale.n_jobs > 1:
+                from .parallel import RunSpec, run_many
 
-            dalta_specs = [
-                RunSpec.for_function(
-                    "dalta", target, scale.dalta_config, base_seed, i
+                dalta_specs = [
+                    RunSpec.for_function(
+                        "dalta", target, scale.dalta_config, base_seed, i
+                    )
+                    for i in range(scale.n_runs)
+                ]
+                bssa_specs = [
+                    RunSpec.for_function(
+                        "bs-sa", target, scale.bssa_config, base_seed + 1, i
+                    )
+                    for i in range(scale.n_runs)
+                ]
+                dalta_runs = run_many(dalta_specs, scale.n_jobs)
+                bssa_runs = run_many(bssa_specs, scale.n_jobs)
+            else:
+                dalta_runs = repeated_runs(
+                    lambda rng: run_dalta(target, scale.dalta_config, rng=rng),
+                    scale.n_runs,
+                    base_seed,
                 )
-                for i in range(scale.n_runs)
-            ]
-            bssa_specs = [
-                RunSpec.for_function(
-                    "bs-sa", target, scale.bssa_config, base_seed + 1, i
+                bssa_runs = repeated_runs(
+                    lambda rng: run_bssa(target, scale.bssa_config, rng=rng),
+                    scale.n_runs,
+                    base_seed + 1,
                 )
-                for i in range(scale.n_runs)
-            ]
-            dalta_runs = run_many(dalta_specs, scale.n_jobs)
-            bssa_runs = run_many(bssa_specs, scale.n_jobs)
-        else:
-            dalta_runs = repeated_runs(
-                lambda rng: run_dalta(target, scale.dalta_config, rng=rng),
-                scale.n_runs,
-                base_seed,
+            result.rows.append(
+                Table2Row(
+                    benchmark=name,
+                    dalta=reporting.summarize_runs([r.med for r in dalta_runs]),
+                    dalta_time=float(
+                        np.mean([r.elapsed_seconds for r in dalta_runs])
+                    ),
+                    bssa=reporting.summarize_runs([r.med for r in bssa_runs]),
+                    bssa_time=float(
+                        np.mean([r.elapsed_seconds for r in bssa_runs])
+                    ),
+                )
             )
-            bssa_runs = repeated_runs(
-                lambda rng: run_bssa(target, scale.bssa_config, rng=rng),
-                scale.n_runs,
-                base_seed + 1,
-            )
-        result.rows.append(
-            Table2Row(
-                benchmark=name,
-                dalta=reporting.summarize_runs([r.med for r in dalta_runs]),
-                dalta_time=float(
-                    np.mean([r.elapsed_seconds for r in dalta_runs])
-                ),
-                bssa=reporting.summarize_runs([r.med for r in bssa_runs]),
-                bssa_time=float(np.mean([r.elapsed_seconds for r in bssa_runs])),
-            )
-        )
     return result

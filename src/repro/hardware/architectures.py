@@ -21,7 +21,7 @@ decomposition semantics by :func:`repro.hardware.simulate.verify_design`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -20,13 +20,9 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..boolean.synthesis import lut_image_bits
 from .architectures import (
-    BtoNormalDesign,
-    BtoNormalNdDesign,
-    DaltaDesign,
     MultiSharedNdDesign,
     _DecomposedDesign,
     _MonolithicDesign,

@@ -1,0 +1,200 @@
+"""Telemetry primitives: spans, counters, and the session object.
+
+The module keeps one process-wide :class:`Telemetry` instance (or
+``None`` when telemetry is off).  Everything here is stdlib-only and
+written so the *disabled* path costs a single attribute load and
+``None`` check — instrumented hot loops pay well under the 2% budget
+documented in ``docs/observability.md``.
+
+Records are plain dicts with a ``type`` discriminator:
+
+``span``
+    Emitted when a span closes: name, nesting depth, span/parent ids,
+    wall-clock start (``ts``), duration in seconds (``dur``), and the
+    structured attributes passed to :meth:`Telemetry.span`.
+``event``
+    A point-in-time occurrence (e.g. ``run.completed``).
+``counters``
+    A snapshot of the accumulated counters/gauges, emitted on flush.
+``manifest``
+    A run manifest (see :mod:`repro.obs.manifest`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "NOOP_SPAN", "Telemetry"]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        pass
+
+
+#: the singleton handed out by ``obs.span`` when telemetry is off
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of the program.
+
+    Use as a context manager; the record is emitted to the sinks when
+    the span closes.  Nesting is tracked by the owning
+    :class:`Telemetry` via a span stack, so ``depth`` and ``parent``
+    come for free.
+    """
+
+    __slots__ = (
+        "telemetry",
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "depth",
+        "ts",
+        "_start",
+        "duration",
+    )
+
+    def __init__(self, telemetry: "Telemetry", name: str, attributes: Dict[str, Any]):
+        self.telemetry = telemetry
+        self.name = name
+        self.attributes = attributes
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.ts = 0.0
+        self._start = 0.0
+        self.duration: Optional[float] = None
+
+    def set(self, **attributes) -> None:
+        """Attach extra attributes mid-span."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self.telemetry._open(self)
+        self.ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.duration = time.perf_counter() - self._start
+        self.telemetry._close(self, error=exc_type is not None)
+        return False
+
+
+class Telemetry:
+    """A telemetry session: a span stack, counters, and output sinks."""
+
+    def __init__(self, sinks=()) -> None:
+        self.sinks = list(sinks)
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, attributes)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+
+    def _close(self, span: Span, error: bool = False) -> None:
+        # Tolerate mispaired exits instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            while self._stack and self._stack.pop() is not span:
+                pass
+        record = {
+            "type": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "ts": span.ts,
+            "dur": span.duration,
+        }
+        if span.attributes:
+            record["attrs"] = span.attributes
+        if error:
+            record["error"] = True
+        self.emit(record)
+
+    # -- counters / gauges --------------------------------------------
+    def incr(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def merge_counters(self, counters: Dict[str, float]) -> None:
+        """Fold counters from another session (e.g. a worker process)."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- events / records ---------------------------------------------
+    def event(self, name: str, **attributes) -> None:
+        record: Dict[str, Any] = {"type": "event", "name": name, "ts": time.time()}
+        if attributes:
+            record["attrs"] = attributes
+        self.emit(record)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.record(record)
+
+    def absorb(self, records, **extra_attrs) -> None:
+        """Replay records captured in another process into this session.
+
+        Counter snapshots are folded into this session's counters;
+        span/event records are re-emitted verbatim (plus
+        ``extra_attrs``, e.g. a worker index) so one trace file holds
+        the whole multi-process run.
+        """
+        for record in records:
+            if record.get("type") == "counters":
+                self.merge_counters(record.get("values", {}))
+                continue
+            if extra_attrs:
+                record = dict(record)
+                attrs = dict(record.get("attrs", {}))
+                attrs.update(extra_attrs)
+                record["attrs"] = attrs
+            self.emit(record)
+
+    # -- lifecycle -----------------------------------------------------
+    def counters_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"type": "counters", "values": dict(self.counters)}
+        if self.gauges:
+            record["gauges"] = dict(self.gauges)
+        return record
+
+    def flush(self) -> None:
+        """Emit the counter snapshot and flush every sink."""
+        if self.counters or self.gauges:
+            self.emit(self.counters_record())
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for sink in self.sinks:
+            sink.close()

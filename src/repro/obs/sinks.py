@@ -1,0 +1,146 @@
+"""Telemetry sinks: in-memory (tests), JSONL file, stderr progress.
+
+A sink is anything with ``record(dict)``, ``flush()``, and ``close()``.
+Sinks never raise into the instrumented code path: a telemetry failure
+must not change an algorithm's outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "StderrSink"]
+
+
+class Sink:
+    """Base class / protocol for telemetry sinks."""
+
+    def record(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.flush()
+
+
+class MemorySink(Sink):
+    """Keeps every record in a list — the sink used by the test suite."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def record(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    # -- convenience views --------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "event" and (name is None or r["name"] == name)
+        ]
+
+    def counters(self) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for record in self.records:
+            if record.get("type") == "counters":
+                for key, value in record.get("values", {}).items():
+                    merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per record to a file.
+
+    The file handle is opened lazily (so constructing the sink in a
+    parent process and using it after a fork is safe) and written
+    line-buffered via explicit flushes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[TextIO] = None
+
+    def _ensure(self) -> TextIO:
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a")
+        return self._handle
+
+    def record(self, record: Dict[str, Any]) -> None:
+        self._ensure().write(json.dumps(record, default=str) + "\n")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+
+class StderrSink(Sink):
+    """Human-readable progress lines on stderr.
+
+    Always prints ``run.completed`` events (one line per finished
+    algorithm run — the ``--progress`` sink); with ``verbose`` it also
+    prints shallow span completions so a long experiment shows a
+    heartbeat.
+    """
+
+    def __init__(
+        self,
+        verbose: bool = False,
+        max_depth: int = 1,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.verbose = verbose
+        self.max_depth = max_depth
+        self.stream = stream if stream is not None else sys.stderr
+
+    def record(self, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == "event" and record.get("name") == "run.completed":
+            attrs = record.get("attrs", {})
+            parts = [
+                str(attrs.get("benchmark", "?")),
+                str(attrs.get("algorithm", "?")),
+                f"seed={attrs.get('seed', '?')}",
+            ]
+            elapsed = attrs.get("elapsed")
+            if elapsed is not None:
+                parts.append(f"{float(elapsed):.2f}s")
+            worker = attrs.get("worker")
+            if worker is not None:
+                parts.append(f"worker={worker}")
+            print("[repro] run done:", " ".join(parts), file=self.stream)
+        elif self.verbose and kind == "span" and record.get("depth", 0) <= self.max_depth:
+            dur = record.get("dur") or 0.0
+            attrs = record.get("attrs", {})
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            line = f"[repro] {record['name']} {dur:.3f}s"
+            if detail:
+                line += f" ({detail})"
+            print(line, file=self.stream)
+
+    def flush(self) -> None:
+        try:
+            self.stream.flush()
+        except ValueError:  # stream already closed (interpreter teardown)
+            pass

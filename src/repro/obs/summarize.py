@@ -1,0 +1,140 @@
+"""Turn a JSONL trace into a per-phase breakdown.
+
+``summarize(path_or_records)`` aggregates span records by name into
+count / total / mean / min / max wall-clock statistics, plus the trace's
+total wall-clock (the sum of root-span durations) and the merged
+counters.  ``TraceSummary.render()`` prints the breakdown as a
+monospace table.
+
+Also usable as a script::
+
+    PYTHONPATH=src python -m repro.obs.summarize trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Union
+
+__all__ = ["PhaseStats", "TraceSummary", "load_trace", "summarize"]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated wall-clock statistics for one span name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.min = min(self.min, duration)
+        self.max = max(self.max, duration)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Per-phase rollup of one trace file."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: sum of root-span (depth 0) durations — the traced wall-clock
+    total_seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+    manifests: List[Dict[str, Any]] = field(default_factory=list)
+
+    def phase_timings(self) -> Dict[str, Dict[str, float]]:
+        """The rollup in manifest form (span name -> count/total)."""
+        return {
+            name: {"count": stats.count, "total": stats.total}
+            for name, stats in self.phases.items()
+        }
+
+    def render(self) -> str:
+        # Imported lazily: reporting lives in the experiments package,
+        # which transitively imports the instrumented core modules.
+        from ..experiments import reporting
+
+        ordered = sorted(
+            self.phases.values(), key=lambda s: s.total, reverse=True
+        )
+        rows = [
+            [s.name, s.count, s.total, s.mean, s.min, s.max] for s in ordered
+        ]
+        table = reporting.format_table(
+            ["phase", "count", "total(s)", "mean(s)", "min(s)", "max(s)"],
+            rows,
+            title="Trace summary — per-phase wall clock",
+        )
+        lines = [table, f"total traced wall-clock: {self.total_seconds:.3f}s"]
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name}: {self.counters[name]:g}")
+        if self.events:
+            lines.append(
+                "events: "
+                + ", ".join(f"{k}×{v}" for k, v in sorted(self.events.items()))
+            )
+        return "\n".join(lines)
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read every record from a JSONL trace file."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize(source: Union[str, Iterable[Dict[str, Any]]]) -> TraceSummary:
+    """Aggregate a trace (file path or record iterable) per span name."""
+    records = load_trace(source) if isinstance(source, str) else source
+    summary = TraceSummary()
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            duration = float(record.get("dur") or 0.0)
+            name = record.get("name", "?")
+            stats = summary.phases.get(name)
+            if stats is None:
+                stats = summary.phases[name] = PhaseStats(name)
+            stats.add(duration)
+            if record.get("depth", 0) == 0:
+                summary.total_seconds += duration
+        elif kind == "counters":
+            for name, value in record.get("values", {}).items():
+                summary.counters[name] = summary.counters.get(name, 0) + value
+        elif kind == "event":
+            name = record.get("name", "?")
+            summary.events[name] = summary.events.get(name, 0) + 1
+        elif kind == "manifest":
+            summary.manifests.append(record)
+    return summary
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Summarise a repro trace file")
+    parser.add_argument("trace", help="JSONL trace written by --trace")
+    args = parser.parse_args(argv)
+    print(summarize(args.trace).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,7 +1,6 @@
 """Unit tests for the decomposability analysis tools."""
 
 import numpy as np
-import pytest
 
 from repro.boolean import DisjointDecomposition, Partition
 from repro.boolean.analysis import (

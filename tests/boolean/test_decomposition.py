@@ -19,7 +19,7 @@ from repro.boolean import (
     to_matrix,
 )
 
-from ..conftest import random_bits, random_function
+from ..conftest import random_bits
 
 
 def example1_function() -> BooleanFunction:

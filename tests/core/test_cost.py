@@ -12,7 +12,6 @@ from repro.core import (
     rest_word,
 )
 
-from ..conftest import random_function
 
 
 class TestWordHelpers:

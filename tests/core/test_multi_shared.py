@@ -13,7 +13,7 @@ from repro.core import (
     optimize_multi_shared,
     optimize_nondisjoint_shared,
 )
-from repro.metrics import distributions, med
+from repro.metrics import distributions
 
 from ..conftest import random_bits
 

@@ -82,7 +82,6 @@ class TestObjectiveInAlgorithms:
         sums — they must match a recomputation through the cost model."""
         from dataclasses import replace
 
-        from repro.core import rest_word
 
         f = random_function(6, 3, rng)
         config = replace(repro.AlgorithmConfig.fast(seed=2), objective="mse")

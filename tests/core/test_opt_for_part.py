@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.boolean import Partition, RowType, find_exact_decomposition
+from repro.boolean import Partition, RowType
 from repro.core import (
     BitCosts,
     cost_vectors_fixed,

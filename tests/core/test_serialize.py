@@ -7,7 +7,6 @@ import pytest
 
 import repro
 from repro.core import serialize
-from repro.core.settings import Setting
 
 from ..conftest import random_function
 

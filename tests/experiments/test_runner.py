@@ -1,7 +1,6 @@
 """Unit tests for experiment plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.core import run_bssa
 from repro.experiments import ExperimentScale, build_suite, repeated_runs

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import run_bssa, run_dalta
+from repro.core import run_bssa
 from repro.hardware import (
     BtoNormalDesign,
     BtoNormalNdDesign,

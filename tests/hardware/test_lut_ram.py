@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware import LutRam, NANGATE45, ToggleLedger
+from repro.hardware import LutRam, ToggleLedger
 
 
 def _ram(n_addr=4, width=1, seed=0):

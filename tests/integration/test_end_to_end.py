@@ -12,7 +12,6 @@ from repro.hardware import (
     measure_energy,
     verify_design,
 )
-from repro.metrics import med
 
 
 @pytest.fixture(scope="module")

@@ -18,7 +18,6 @@ from repro.hardware import (
     measure_energy,
     random_read_workload,
 )
-from repro.metrics import med
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,132 @@
+"""Sinks, manifests, and the trace summariser."""
+
+import io
+import json
+
+from repro import obs
+from repro.core import AlgorithmConfig
+from repro.obs.manifest import RunManifest, config_hash, git_revision
+from repro.obs.summarize import summarize
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(obs.JsonlSink(str(path))):
+            with obs.span("a", k=1):
+                obs.incr("c", 2)
+            obs.event("e", v="x")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert kinds == ["span", "event", "counters"]
+        assert records[0]["name"] == "a" and records[0]["attrs"] == {"k": 1}
+        assert records[2]["values"] == {"c": 2}
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with obs.session(obs.JsonlSink(str(path))):
+                with obs.span("x"):
+                    pass
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestStderrSink:
+    def test_progress_line(self):
+        stream = io.StringIO()
+        sink = obs.StderrSink(stream=stream)
+        sink.record(
+            {
+                "type": "event",
+                "name": "run.completed",
+                "attrs": {
+                    "benchmark": "cos",
+                    "algorithm": "bs-sa",
+                    "seed": 1,
+                    "elapsed": 0.25,
+                },
+            }
+        )
+        line = stream.getvalue()
+        assert "cos" in line and "bs-sa" in line
+        assert "seed=1" in line and "0.25s" in line
+
+    def test_quiet_without_verbose(self):
+        stream = io.StringIO()
+        sink = obs.StderrSink(stream=stream)
+        sink.record({"type": "span", "name": "x", "depth": 0, "dur": 1.0})
+        assert stream.getvalue() == ""
+
+    def test_verbose_span_lines(self):
+        stream = io.StringIO()
+        sink = obs.StderrSink(verbose=True, stream=stream)
+        sink.record({"type": "span", "name": "deep", "depth": 5, "dur": 1.0})
+        sink.record({"type": "span", "name": "bssa.run", "depth": 0, "dur": 1.5})
+        out = stream.getvalue()
+        assert "bssa.run" in out and "deep" not in out
+
+
+class TestManifest:
+    def test_config_hash_stability(self):
+        config = AlgorithmConfig.fast()
+        assert config_hash(config) == config_hash(AlgorithmConfig.fast())
+        assert config_hash(config) != config_hash(AlgorithmConfig.reduced())
+
+    def test_git_revision_in_repo(self):
+        rev = git_revision()
+        assert rev is None or (len(rev) == 40 and all(c in "0123456789abcdef" for c in rev))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        manifest = RunManifest.build(
+            command="test",
+            config=AlgorithmConfig.fast(),
+            base_seed=7,
+            counters={"opt.calls": 10},
+            phase_timings={"bssa.run": {"count": 1, "total": 1.5}},
+        )
+        manifest.add_seed({"base_seed": 7, "spawn_index": 0, "spawn_key": [0]})
+        manifest.append_to(str(path))
+        manifest.append_to(str(path))  # JSONL: appending accumulates lines
+
+        loaded = RunManifest.load_all(str(path))
+        assert len(loaded) == 2
+        first = loaded[0]
+        assert first.command == "test"
+        assert first.base_seed == 7
+        assert first.config_hash == config_hash(AlgorithmConfig.fast())
+        assert first.counters == {"opt.calls": 10}
+        assert first.phase_timings == {"bssa.run": {"count": 1, "total": 1.5}}
+        assert first.seeds[0]["spawn_index"] == 0
+
+    def test_load_all_skips_non_manifest_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(obs.JsonlSink(str(path))):
+            with obs.span("x"):
+                pass
+        RunManifest.build(command="t").append_to(str(path))
+        assert len(RunManifest.load_all(str(path))) == 1
+
+
+class TestSummarize:
+    def test_per_phase_rollup(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(obs.JsonlSink(str(path))):
+            for _ in range(3):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        pass
+            obs.incr("c", 5)
+            obs.event("run.completed")
+        summary = summarize(str(path))
+        assert summary.phases["outer"].count == 3
+        assert summary.phases["inner"].count == 3
+        # total wall-clock counts root spans only
+        assert summary.total_seconds == sum(
+            s.total for s in [summary.phases["outer"]]
+        )
+        assert summary.counters == {"c": 5}
+        assert summary.events == {"run.completed": 1}
+        rendered = summary.render()
+        assert "outer" in rendered and "inner" in rendered
+        assert "total traced wall-clock" in rendered

@@ -91,6 +91,61 @@ class TestCommands:
         assert "GEOMEAN" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_trace_writes_jsonl_and_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "table2",
+                    "--scale",
+                    "smoke",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Phase timings" in out
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        kinds = {r["type"] for r in records}
+        assert {"span", "event", "counters", "manifest"} <= kinds
+        manifest = [r for r in records if r["type"] == "manifest"][0]
+        assert manifest["seeds"], "spawned seeds must be recorded"
+        assert "bssa.run" in manifest["phase_timings"]
+
+    def test_summarize_command(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "compile",
+                    "cos",
+                    "--bits",
+                    "8",
+                    "--budget",
+                    "fast",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "opt.for_part" in out
+
+    def test_verbose_flag_parses(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
 class TestExperimentCommands:
     def test_experiment_fig6(self, capsys):
         assert main(["experiment", "fig6", "--scale", "smoke"]) == 0
