@@ -7,8 +7,8 @@ kernel used by every energy measurement) are tracked here.
 
 import numpy as np
 
-from repro.boolean import Partition
-from repro.core import cost_vectors_fixed, opt_for_part
+from repro.boolean import Partition, random_partition
+from repro.core import cost_vectors_fixed, opt_for_part, opt_for_part_many
 from repro.hardware import LutRam, ToggleLedger
 from repro.metrics import distributions
 from repro.workloads import get
@@ -46,6 +46,30 @@ def test_opt_for_part_paper_shape_16bit(benchmark):
         iterations=1,
     )
     assert result.error >= 0
+
+
+def test_opt_for_part_many_neighbourhood(benchmark):
+    """Batched kernel over an SA-neighbourhood-sized partition set.
+
+    The shape one ``opt_for_part_many`` call sees inside the search
+    loops: a handful of same-shape partitions sharing one cost context.
+    """
+    costs, p, _, n = _cost_setup(12, 7)
+    sample_rng = np.random.default_rng(1)
+    partitions = [random_partition(n, 7, sample_rng) for _ in range(8)]
+
+    def run():
+        return opt_for_part_many(
+            costs,
+            p,
+            partitions,
+            n,
+            n_initial_patterns=30,
+            rng=np.random.default_rng(0),
+        )
+
+    results = benchmark(run)
+    assert len(results) == len(partitions)
 
 
 def test_lut_ram_power_simulation(benchmark):

@@ -29,7 +29,7 @@ import numpy as np
 from . import ops
 from .function import BooleanFunction
 from .partition import Partition, all_partitions
-from .truth_table import to_matrix
+from .truth_table import row_col_indices, to_matrix
 
 __all__ = [
     "RowType",
@@ -128,6 +128,27 @@ class DisjointDecomposition(Decomposition):
         object.__setattr__(self, "pattern", pattern)
         object.__setattr__(self, "types", types)
 
+    @classmethod
+    def _trusted(
+        cls,
+        partition: Partition,
+        pattern: np.ndarray,
+        types: np.ndarray,
+        mode: str = "normal",
+    ) -> "DisjointDecomposition":
+        """Construct without re-validating ``(V, T)``.
+
+        Reserved for the OptForPart kernel, whose half-steps produce
+        valid uint8/int8 vectors by construction; ``__post_init__``'s
+        checks are pure overhead on that hot path.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "partition", partition)
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "types", types)
+        object.__setattr__(self, "mode", mode)
+        return self
+
     # ------------------------------------------------------------------
     def matrix(self) -> np.ndarray:
         """The 2D truth table encoded by (V, T)."""
@@ -135,8 +156,7 @@ class DisjointDecomposition(Decomposition):
 
     def evaluate(self, n_inputs: int) -> np.ndarray:
         self.partition.validate_for(n_inputs)
-        xs = ops.all_inputs(n_inputs)
-        rows, cols = self.partition.row_col_of(xs)
+        rows, cols = row_col_indices(self.partition, n_inputs)
         phi = self.pattern[cols]
         return self._apply_free(rows, phi)
 

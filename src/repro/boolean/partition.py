@@ -18,8 +18,15 @@ from typing import Iterator, List, Tuple
 import numpy as np
 
 from . import ops
+from ..caching import LruCache
 
 __all__ = ["Partition", "random_partition", "all_partitions", "partition_count"]
+
+#: cached neighbour lists keyed by partition — SA revisits the same
+#: states across chains and rounds, and the swap enumeration allocates
+#: n_free * n_bound Partition objects per call.  The list order is part
+#: of the contract: ``sample_neighbours`` draws indices into it.
+_NEIGHBOUR_CACHE = LruCache("partition_neighbours", maxsize=1024)
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,29 @@ class Partition:
             raise ValueError("bound set must not be empty")
         if not self.free:
             raise ValueError("free set must not be empty")
+
+    @classmethod
+    def _trusted(
+        cls, free: Tuple[int, ...], bound: Tuple[int, ...]
+    ) -> "Partition":
+        """Construct from already-sorted, disjoint int tuples.
+
+        Reserved for :meth:`neighbours`, which derives both tuples from
+        a validated partition; skipping ``__post_init__`` matters there
+        because SA expands ``n_free * n_bound`` neighbours per move.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "free", free)
+        object.__setattr__(self, "bound", bound)
+        return self
+
+    def __hash__(self) -> int:
+        # partitions key every hot cache; hash the field tuples once
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.free, self.bound))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # ------------------------------------------------------------------
     @property
@@ -114,31 +144,45 @@ class Partition:
         Each neighbour swaps one free variable with one bound variable,
         preserving the bound-set size ``b`` required by the hardware.
         """
+        cached = _NEIGHBOUR_CACHE.get(self)
+        if cached is not None:
+            return list(cached)
         result = []
         for a in self.free:
             for b in self.bound:
                 free = tuple(sorted(set(self.free) - {a} | {b}))
                 bound = tuple(sorted(set(self.bound) - {b} | {a}))
-                result.append(Partition(free, bound))
+                result.append(Partition._trusted(free, bound))
+        _NEIGHBOUR_CACHE.put(self, tuple(result))
         return result
 
     def sample_neighbours(
         self, count: int, rng: np.random.Generator
     ) -> List["Partition"]:
-        """Sample ``count`` distinct neighbours uniformly (``GenNeib``)."""
-        swaps = [(a, b) for a in self.free for b in self.bound]
-        if count >= len(swaps):
-            chosen = swaps
-        else:
-            picks = rng.choice(len(swaps), size=count, replace=False)
-            chosen = [swaps[int(i)] for i in picks]
-        return [
-            Partition(
-                tuple(sorted(set(self.free) - {a} | {b})),
-                tuple(sorted(set(self.bound) - {b} | {a})),
+        """Sample ``count`` distinct neighbours uniformly (``GenNeib``).
+
+        Neighbour ``i`` of :meth:`neighbours` swaps the ``i``-th entry
+        of the (free x bound) product; drawing indices into that
+        product takes the same generator draw — and yields the same
+        partitions — as enumerating every swap, while only
+        constructing the ``count`` chosen neighbours.
+        """
+        n_bound = len(self.bound)
+        total = len(self.free) * n_bound
+        if count >= total:
+            return self.neighbours()
+        picks = rng.choice(total, size=count, replace=False)
+        result = []
+        for pick in picks:
+            a = self.free[int(pick) // n_bound]
+            b = self.bound[int(pick) % n_bound]
+            result.append(
+                Partition._trusted(
+                    tuple(sorted(set(self.free) - {a} | {b})),
+                    tuple(sorted(set(self.bound) - {b} | {a})),
+                )
             )
-            for a, b in chosen
-        ]
+        return result
 
     def is_neighbour_of(self, other: "Partition") -> bool:
         """True when the free sets differ in exactly one element."""

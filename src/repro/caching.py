@@ -1,0 +1,167 @@
+"""Process-local caches and fast-path switches for the hot kernels.
+
+The BS-SA/DALTA inner loop (``OptForPart``) re-evaluates thousands of
+partitions per output bit.  Three caches amortise that work without
+changing a single output bit (see ``docs/performance.md``):
+
+* the 2D-table *index cache* in :mod:`repro.boolean.truth_table`
+  (gather/scatter permutations keyed by ``(partition, n_inputs)``),
+* the *result memo* in :mod:`repro.core.opt_for_part` (full
+  ``OptForPartResult`` keyed by cost/pattern digests), and
+* the batched ``opt_for_part_many`` driver used by BS-SA and DALTA.
+
+Everything here is **per process**: worker processes spawned by
+:mod:`repro.experiments.parallel` each hold their own caches, and
+:meth:`RunSpec.execute` clears them at run start so telemetry counters
+are independent of run order and of serial-vs-parallel execution.
+
+``fast_paths_enabled()`` gates the batched drivers and the result memo
+(the index cache is a pure equivalence and stays on).  Disable globally
+with ``REPRO_FAST_PATHS=0`` in the environment, or locally with the
+:func:`fast_paths` context manager — the reference single-partition
+code paths are kept intact precisely so the differential test suite
+(and the ``BENCH_table2.json`` harness) can compare both.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, List, Optional
+
+from . import obs
+
+__all__ = [
+    "LruCache",
+    "fast_paths_enabled",
+    "set_fast_paths",
+    "fast_paths",
+    "clear_caches",
+    "cache_stats",
+]
+
+#: every LruCache instance ever created, for clear_caches()/cache_stats()
+_REGISTRY: List["LruCache"] = []
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_FAST_PATHS", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+_fast_paths: bool = _env_default()
+
+
+def fast_paths_enabled() -> bool:
+    """True when the batched/memoized kernel drivers are active."""
+    return _fast_paths
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Set the fast-path switch; returns the previous value."""
+    global _fast_paths
+    previous = _fast_paths
+    _fast_paths = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fast_paths(enabled: bool):
+    """Scoped override of the fast-path switch (used by the tests)."""
+    previous = set_fast_paths(enabled)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)
+
+
+class LruCache:
+    """A small least-recently-used map with hit/miss accounting.
+
+    Single-threaded by design (the algorithms are single-threaded per
+    process; workers each own their instances).  When a telemetry
+    session is active, every lookup increments
+    ``cache.<name>.hit`` / ``cache.<name>.miss`` — plus the aggregate
+    ``<aggregate>_hit`` / ``<aggregate>_miss`` counters when an
+    aggregate prefix is given (the opt-layer caches use ``opt.cache``,
+    which is what ``repro summarize`` reports as ``opt.cache_hit`` /
+    ``opt.cache_miss``).
+    """
+
+    def __init__(
+        self, name: str, maxsize: int, aggregate: Optional[str] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self.aggregate = aggregate
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        _REGISTRY.append(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value or ``None`` (values are never None)."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            if obs.enabled():
+                obs.incr(f"cache.{self.name}.miss")
+                if self.aggregate:
+                    obs.incr(f"{self.aggregate}_miss")
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        if obs.enabled():
+            obs.incr(f"cache.{self.name}.hit")
+            if self.aggregate:
+                obs.incr(f"{self.aggregate}_hit")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if value is None:
+            raise ValueError("LruCache cannot store None")
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss/eviction counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (per-run isolation, tests)."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, float]]:
+    """Current statistics of every registered cache, by name."""
+    return {cache.name: cache.stats() for cache in _REGISTRY}

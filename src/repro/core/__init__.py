@@ -22,9 +22,12 @@ from .nondisjoint import (
 )
 from .opt_for_part import (
     OptForPartResult,
+    OptMemo,
+    memo_context,
     opt_for_part,
     opt_for_part_bto,
     opt_for_part_exhaustive,
+    opt_for_part_many,
 )
 from .result import ApproximationResult, SearchStats
 from .settings import Setting, SettingSequence
@@ -55,9 +58,12 @@ __all__ = [
     "optimize_nondisjoint",
     "optimize_nondisjoint_shared",
     "OptForPartResult",
+    "OptMemo",
+    "memo_context",
     "opt_for_part",
     "opt_for_part_bto",
     "opt_for_part_exhaustive",
+    "opt_for_part_many",
     "ApproximationResult",
     "SearchStats",
     "Setting",

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import caching, obs
 from ..boolean.function import BooleanFunction
 from ..boolean.partition import Partition, partition_count, random_partition
 from ..metrics import distributions
@@ -40,7 +40,12 @@ from .cost import (
 )
 from .modes import select_mode
 from .nondisjoint import optimize_nondisjoint
-from .opt_for_part import opt_for_part, opt_for_part_bto
+from .opt_for_part import (
+    memo_context,
+    opt_for_part,
+    opt_for_part_bto,
+    opt_for_part_many,
+)
 from .result import ApproximationResult, SearchStats
 from .settings import Setting, SettingSequence
 
@@ -82,6 +87,52 @@ class _Beam:
         return self.items[-1].error if self.items else math.inf
 
 
+def _collect_neighbours(
+    neighbours: List[Partition], visited: dict, budget: int
+) -> Tuple[List[Partition], List[Partition]]:
+    """Split one SA iteration's neighbour list for batched evaluation.
+
+    Mirrors the serial scan exactly: the walk stops at the first
+    unvisited neighbour that would exceed the ``P`` budget, and
+    neighbours past that point are excluded from the move-selection
+    scan too.  Returns ``(scan, fresh)`` — the neighbours the serial
+    loop would have considered, and the subset needing an OptForPart
+    call, both in encounter order.
+    """
+    scan: List[Partition] = []
+    fresh: List[Partition] = []
+    fresh_set: set = set()
+    for neighbour in neighbours:
+        if neighbour not in visited and neighbour not in fresh_set:
+            if len(visited) + len(fresh) >= budget:
+                break
+            fresh.append(neighbour)
+            fresh_set.add(neighbour)
+        scan.append(neighbour)
+    return scan, fresh
+
+
+def _draw_patterns(
+    partitions: List[Partition], config: AlgorithmConfig, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Initial-pattern draws for a batch, in serial call order.
+
+    Taking the draws here — one per partition, in encounter order —
+    consumes the generator stream exactly as a loop of single
+    ``opt_for_part`` calls would, which is what keeps every later draw
+    (SA acceptance tests, subsequent bits) bit-identical.
+    """
+    return [
+        rng.integers(
+            0,
+            2,
+            size=(config.n_initial_patterns, partition.n_cols),
+            dtype=np.uint8,
+        )
+        for partition in partitions
+    ]
+
+
 def find_best_settings(
     costs: BitCosts,
     p: np.ndarray,
@@ -118,10 +169,24 @@ def find_best_settings(
     beam = _Beam(n_beam)
     best_bto: Optional[Setting] = None
     budget = min(config.partition_limit, partition_count(n_inputs, config.bound_size))
+    # One memo handle per (costs, p) context: partitions revisited with
+    # identical context (and, for the randomised variant, identical
+    # pattern draws) come straight from the result cache.
+    memo = memo_context(costs, p)
+
+    def record(partition: Partition, result) -> float:
+        """Fold one OptForPart result into beam/BTO/stats bookkeeping."""
+        nonlocal best_bto
+        stats.opt_for_part_calls += 1
+        beam.push(Setting(result.error, result.decomposition))
+        if collect_bto:
+            bto = opt_for_part_bto(costs, p, partition, n_inputs, memo=memo)
+            if best_bto is None or bto.error < best_bto.error:
+                best_bto = Setting(bto.error, bto.decomposition)
+        return result.error
 
     def visit(partition: Partition) -> float:
         """OptForPart on a new partition; updates beam and BTO best."""
-        nonlocal best_bto
         result = opt_for_part(
             costs,
             p,
@@ -129,27 +194,66 @@ def find_best_settings(
             n_inputs,
             n_initial_patterns=config.n_initial_patterns,
             rng=rng,
+            memo=memo,
         )
-        stats.opt_for_part_calls += 1
         obs.incr("sa.partitions_evaluated")
-        beam.push(Setting(result.error, result.decomposition))
-        if collect_bto:
-            bto = opt_for_part_bto(costs, p, partition, n_inputs)
-            if best_bto is None or bto.error < best_bto.error:
-                best_bto = Setting(bto.error, bto.decomposition)
-        return result.error
+        return record(partition, result)
+
+    def visit_batch(
+        partitions: List[Partition], patterns: List[np.ndarray]
+    ) -> List[float]:
+        """Batched OptForPart over same-shape partitions, serial order.
+
+        ``patterns`` must have been drawn from ``rng`` in exactly the
+        order a loop of ``visit`` calls would draw them; the batch then
+        evaluates through the stacked kernel, and every result is
+        bitwise equal to its serial counterpart (see
+        ``opt_for_part_many``).
+        """
+        if not partitions:
+            return []
+        results = opt_for_part_many(
+            costs,
+            p,
+            partitions,
+            n_inputs,
+            memo=memo,
+            initial_patterns=patterns,
+        )
+        obs.incr("sa.partitions_evaluated", len(partitions))
+        return [
+            record(partition, result)
+            for partition, result in zip(partitions, results)
+        ]
 
     if partition_search == "random":
         # Ablation mode: DALTA-style independent random sampling.
         sampled = set()
-        attempts = 0
-        while len(sampled) < budget and attempts < 20 * budget:
-            attempts += 1
-            partition = random_partition(n_inputs, config.bound_size, rng)
-            if partition in sampled:
-                continue
-            sampled.add(partition)
-            visit(partition)
+        if caching.fast_paths_enabled():
+            # Take every generator draw (partition, then its initial
+            # patterns) in serial order, but defer the evaluation to one
+            # batch — all partitions share the (b, n-b) shape.
+            order: List[Partition] = []
+            drawn: List[np.ndarray] = []
+            attempts = 0
+            while len(sampled) < budget and attempts < 20 * budget:
+                attempts += 1
+                partition = random_partition(n_inputs, config.bound_size, rng)
+                if partition in sampled:
+                    continue
+                sampled.add(partition)
+                order.append(partition)
+                drawn.extend(_draw_patterns([partition], config, rng))
+            visit_batch(order, drawn)
+        else:
+            attempts = 0
+            while len(sampled) < budget and attempts < 20 * budget:
+                attempts += 1
+                partition = random_partition(n_inputs, config.bound_size, rng)
+                if partition in sampled:
+                    continue
+                sampled.add(partition)
+                visit(partition)
         stats.partitions_visited += len(sampled)
         return FindBestSettingsResult(beam.items, best_bto)
 
@@ -195,19 +299,41 @@ def find_best_settings(
                 obs.incr("sa.iterations")
                 best_nb: Optional[Partition] = None
                 best_nb_error = math.inf
-                for neighbour in neighbours:
-                    if neighbour not in visited:
-                        if len(visited) >= budget:
-                            break
-                        error = visit(neighbour)
+                if caching.fast_paths_enabled():
+                    # All of this iteration's unvisited neighbours go
+                    # through one stacked OptForPart call.  No generator
+                    # use happens between the (already completed)
+                    # neighbour sampling and the pattern draws, so the
+                    # stream matches the serial walk exactly.
+                    scan, fresh = _collect_neighbours(
+                        neighbours, visited, budget
+                    )
+                    errors = visit_batch(
+                        fresh, _draw_patterns(fresh, config, rng)
+                    )
+                    for neighbour, error in zip(fresh, errors):
                         visited[neighbour] = error
                         changed = True
                         if error < best_error:
                             best_error = error
-                    else:
+                    for neighbour in scan:
                         error = visited[neighbour]
-                    if error < best_nb_error:
-                        best_nb, best_nb_error = neighbour, error
+                        if error < best_nb_error:
+                            best_nb, best_nb_error = neighbour, error
+                else:
+                    for neighbour in neighbours:
+                        if neighbour not in visited:
+                            if len(visited) >= budget:
+                                break
+                            error = visit(neighbour)
+                            visited[neighbour] = error
+                            changed = True
+                            if error < best_error:
+                                best_error = error
+                        else:
+                            error = visited[neighbour]
+                        if error < best_nb_error:
+                            best_nb, best_nb_error = neighbour, error
 
                 if best_nb is not None:
                     if best_nb_error <= chain["error"]:

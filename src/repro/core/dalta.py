@@ -15,13 +15,13 @@ from typing import Optional
 
 import numpy as np
 
-from .. import obs
+from .. import caching, obs
 from ..boolean.function import BooleanFunction
 from ..boolean.partition import partition_count, random_partition
 from ..metrics import distributions
 from .config import AlgorithmConfig
 from .cost import apply_objective, cost_vectors_fixed
-from .opt_for_part import opt_for_part
+from .opt_for_part import memo_context, opt_for_part, opt_for_part_many
 from .result import ApproximationResult, SearchStats
 from .settings import Setting, SettingSequence
 
@@ -88,31 +88,83 @@ def run_dalta(
                         seen = set()
                         budget = min(config.partition_limit, max_partitions)
                         attempts = 0
-                        while len(seen) < budget and attempts < 20 * budget:
-                            attempts += 1
-                            partition = random_partition(
-                                target.n_inputs, config.bound_size, rng
-                            )
-                            if partition in seen:
-                                continue
-                            seen.add(partition)
-                            result = opt_for_part(
+                        memo = memo_context(costs, p)
+                        if caching.fast_paths_enabled():
+                            # Take every generator draw (partition, then
+                            # its initial patterns) in the order the
+                            # serial loop would, then evaluate the whole
+                            # sample through one stacked OptForPart call
+                            # — results are bitwise identical per item.
+                            order = []
+                            drawn = []
+                            while len(seen) < budget and attempts < 20 * budget:
+                                attempts += 1
+                                partition = random_partition(
+                                    target.n_inputs, config.bound_size, rng
+                                )
+                                if partition in seen:
+                                    continue
+                                seen.add(partition)
+                                order.append(partition)
+                                drawn.append(
+                                    rng.integers(
+                                        0,
+                                        2,
+                                        size=(
+                                            config.n_initial_patterns,
+                                            partition.n_cols,
+                                        ),
+                                        dtype=np.uint8,
+                                    )
+                                )
+                            results = opt_for_part_many(
                                 costs,
                                 p,
-                                partition,
+                                order,
                                 target.n_inputs,
-                                n_initial_patterns=config.n_initial_patterns,
-                                rng=rng,
+                                memo=memo,
+                                initial_patterns=drawn,
                             )
-                            stats.opt_for_part_calls += 1
-                            obs.incr("dalta.partitions_evaluated")
-                            if (
-                                best_setting is None
-                                or result.error < best_setting.error
-                            ):
-                                best_setting = Setting(
-                                    result.error, result.decomposition
+                            if order:
+                                obs.incr(
+                                    "dalta.partitions_evaluated", len(order)
                                 )
+                            stats.opt_for_part_calls += len(order)
+                            for result in results:
+                                if (
+                                    best_setting is None
+                                    or result.error < best_setting.error
+                                ):
+                                    best_setting = Setting(
+                                        result.error, result.decomposition
+                                    )
+                        else:
+                            while len(seen) < budget and attempts < 20 * budget:
+                                attempts += 1
+                                partition = random_partition(
+                                    target.n_inputs, config.bound_size, rng
+                                )
+                                if partition in seen:
+                                    continue
+                                seen.add(partition)
+                                result = opt_for_part(
+                                    costs,
+                                    p,
+                                    partition,
+                                    target.n_inputs,
+                                    n_initial_patterns=config.n_initial_patterns,
+                                    rng=rng,
+                                    memo=memo,
+                                )
+                                stats.opt_for_part_calls += 1
+                                obs.incr("dalta.partitions_evaluated")
+                                if (
+                                    best_setting is None
+                                    or result.error < best_setting.error
+                                ):
+                                    best_setting = Setting(
+                                        result.error, result.decomposition
+                                    )
                         stats.partitions_visited += len(seen)
                         sequence = sequence.replace(k, best_setting)
             history.append(sequence.med(target, p))

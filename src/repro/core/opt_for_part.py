@@ -17,29 +17,74 @@ monotonically non-increasing and terminates.
 The BTO variant (§IV-A) restricts ``T`` to all type-3 rows; the optimal
 ``V`` is then found exactly in a single pass, no random restarts
 needed.
+
+Performance layer (see ``docs/performance.md``)
+-----------------------------------------------
+Three amortisations keep every output bit identical while cutting the
+wall clock of the search loops:
+
+* cost matrices are built through the cached gather index of
+  :func:`repro.boolean.truth_table.table_indices` instead of
+  recomputing the 2D permutation twice per call;
+* :func:`opt_for_part_many` evaluates a whole batch of same-shape
+  partitions (SA neighbours, DALTA samples) through one stacked
+  alternation — NumPy's stacked ``matmul`` runs the identical BLAS
+  kernel per slice, so each item's result is bitwise equal to a
+  standalone call, and converged items are frozen at exactly the sweep
+  where the serial loop would stop;
+* an LRU memo (:func:`memo_context`) caches full results keyed by
+  digests of the cost vectors, the input distribution, the partition,
+  and — for the randomised variant — the drawn initial patterns.  The
+  pattern digest is what makes a hit *provably* bit-exact: the
+  alternation is deterministic given ``(d0, d1, patterns)``.  The
+  deterministic BTO/exhaustive variants memoise without it and hit
+  whenever a bit's context is revisited unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import caching, obs
 from ..boolean.decomposition import (
     BoundOnlyDecomposition,
     DisjointDecomposition,
     RowType,
 )
 from ..boolean.partition import Partition
-from ..boolean.truth_table import to_matrix
+from ..boolean.truth_table import gather_index, to_matrix
 from .cost import BitCosts
 
-__all__ = ["OptForPartResult", "opt_for_part", "opt_for_part_bto", "opt_for_part_exhaustive"]
+__all__ = [
+    "OptForPartResult",
+    "OptMemo",
+    "memo_context",
+    "opt_for_part",
+    "opt_for_part_many",
+    "opt_for_part_bto",
+    "opt_for_part_exhaustive",
+]
 
 #: safety cap on alternation sweeps; convergence is typically < 10
 _DEFAULT_MAX_SWEEPS = 60
+
+#: stacked-batch size cap: bounds peak memory of the (B, rows, cols)
+#: cost stacks without measurably hurting the amortisation
+_BATCH_LIMIT = 64
+
+# RowType values hoisted to plain ints: enum attribute lookups show up
+# in kernel profiles (they run once per row-mask per sweep per call)
+_T_ZERO = int(RowType.ALL_ZERO)
+_T_ONE = int(RowType.ALL_ONE)
+_T_PATTERN = int(RowType.PATTERN)
+_T_COMPLEMENT = int(RowType.COMPLEMENT)
+
+#: process-wide result memo; entries are a few hundred bytes each
+_RESULT_MEMO = caching.LruCache("opt.memo", maxsize=4096, aggregate="opt.cache")
 
 
 @dataclass(frozen=True)
@@ -66,6 +111,56 @@ class OptForPartResult:
         return self.decomposition.types
 
 
+class OptMemo:
+    """Binds one ``(costs, p)`` pair to the process-wide result memo.
+
+    Created by :func:`memo_context`, which digests the cost vectors and
+    the input distribution once; per-partition keys are then cheap.
+    The callers (``find_best_settings``, DALTA's bit loop) own the
+    arrays for the duration, so content digests taken at construction
+    stay valid.
+    """
+
+    __slots__ = ("context_key",)
+
+    def __init__(self, context_key: Tuple) -> None:
+        self.context_key = context_key
+
+    def normal_key(
+        self, partition: Partition, patterns: np.ndarray, max_sweeps: int
+    ) -> Tuple:
+        digest = hashlib.sha1(np.ascontiguousarray(patterns).tobytes()).digest()
+        return (
+            "normal",
+            self.context_key,
+            partition,
+            int(max_sweeps),
+            patterns.shape,
+            digest,
+        )
+
+    def bto_key(self, partition: Partition) -> Tuple:
+        return ("bto", self.context_key, partition)
+
+    def exhaustive_key(self, partition: Partition) -> Tuple:
+        return ("exhaustive", self.context_key, partition)
+
+
+def memo_context(costs: BitCosts, p: np.ndarray) -> OptMemo:
+    """Digest ``(costs, p)`` into a memo handle for the result cache.
+
+    Only create one when the cost vectors and distribution are immutable
+    for the lifetime of the handle (the per-bit search loops satisfy
+    this: they build fresh cost vectors per context and never write to
+    ``p``).
+    """
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(costs.cost0).tobytes())
+    h.update(np.ascontiguousarray(costs.cost1).tobytes())
+    h.update(np.ascontiguousarray(p).tobytes())
+    return OptMemo((int(costs.k), costs.cost0.shape[0], h.digest()))
+
+
 def _cost_matrices(
     costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -76,48 +171,289 @@ def _cost_matrices(
     return d0, d1
 
 
+# ----------------------------------------------------------------------
+# The two exact half-steps, batched over a leading partition axis.
+#
+# Bit-exactness contract: every float reduction below goes through the
+# same NumPy kernels whether the batch holds 1 item or 64 — stacked
+# matmul dispatches the identical BLAS call per slice, and axis sums
+# reduce each slice in the same order — so a batch item's numbers are
+# bitwise equal to a standalone evaluation.  The single-partition
+# wrappers run the batch code with B = 1, keeping one code path.
+# ----------------------------------------------------------------------
+
+
+def _row_sums(d0: np.ndarray, d1: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row all-0 / all-1 costs ``(B, rows)`` — sweep-invariant."""
+    return d0.sum(axis=2), d1.sum(axis=2)
+
+
+class _SweepScratch:
+    """Reusable ``(B, Z, cols)`` work buffers for the alternation loop.
+
+    The sweep temporaries at paper scale (e.g. Z = 30, 2**b = 512
+    columns, a handful of batched partitions) are large enough that
+    fresh allocations fall through to mmap on every sweep; writing the
+    intermediates into preallocated buffers via ``out=`` keeps the loop
+    off that cliff.  ``out=`` changes where results land, never their
+    bits.
+    """
+
+    __slots__ = ("f1", "f2", "f3", "pb", "st", "g1", "g2")
+
+    def __init__(self, batch: int, z: int, cols: int, rows: int) -> None:
+        self.f1 = np.empty((batch, z, cols))
+        self.f2 = np.empty((batch, z, cols))
+        self.f3 = np.empty((batch, z, cols))
+        self.pb = np.empty((batch, z, cols), dtype=bool)
+        # candidate stack for the types half-step; planes 0/1 hold the
+        # all-0/all-1 row costs, which only change when the active set
+        # is compacted — refresh_constants() rewrites them then
+        self.st = np.empty((4, batch, rows, z))
+        self.g1 = np.empty((batch, rows, z))
+        self.g2 = np.empty((batch, rows, z))
+
+    def refresh_constants(
+        self, zero_cost: np.ndarray, one_cost: np.ndarray
+    ) -> None:
+        b = zero_cost.shape[0]
+        self.st[0, :b] = zero_cost[:, :, None]
+        self.st[1, :b] = one_cost[:, :, None]
+
+
+def _optimal_types_core(
+    d0: np.ndarray,
+    d1: np.ndarray,
+    patterns: np.ndarray,
+    zero_cost: np.ndarray,
+    one_cost: np.ndarray,
+    scratch: Optional[_SweepScratch] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`_optimal_types_batch` with the row sums precomputed."""
+    if scratch is None:
+        v = patterns.astype(np.float64)
+        w = 1.0 - v
+        vt = v.transpose(0, 2, 1)  # (B, cols, Z)
+        wt = w.transpose(0, 2, 1)
+        pattern_cost = np.matmul(d0, wt) + np.matmul(d1, vt)  # type 3
+        complement_cost = np.matmul(d0, vt) + np.matmul(d1, wt)  # type 4
+        b, rows, z = pattern_cost.shape
+        stacked = np.empty((4, b, rows, z))
+        stacked[0] = zero_cost[:, :, None]
+        stacked[1] = one_cost[:, :, None]
+        stacked[2] = pattern_cost
+        stacked[3] = complement_cost
+    else:
+        # planes 0/1 of scratch.st were filled by refresh_constants()
+        b = patterns.shape[0]
+        v = scratch.f1[:b]
+        np.copyto(v, patterns)
+        w = scratch.f2[:b]
+        np.subtract(1.0, v, out=w)
+        vt = v.transpose(0, 2, 1)
+        wt = w.transpose(0, 2, 1)
+        g1 = scratch.g1[:b]
+        g2 = scratch.g2[:b]
+        stacked = scratch.st[:, :b]
+        np.matmul(d0, wt, out=g1)
+        np.matmul(d1, vt, out=g2)
+        np.add(g1, g2, out=stacked[2])
+        np.matmul(d0, vt, out=g1)
+        np.matmul(d1, wt, out=g2)
+        np.add(g1, g2, out=stacked[3])
+    best = stacked.argmin(axis=0)  # (B, rows, Z) in 0..3
+    # min picks the same element argmin indexes (ties hold equal values;
+    # all entries are sums of non-negative terms, so no -0.0 asymmetry)
+    row_costs = stacked.min(axis=0)
+    return (best + 1).astype(np.int8).transpose(0, 2, 1), row_costs.sum(axis=1)
+
+
+def _optimal_patterns_core(
+    d0: np.ndarray,
+    d1: np.ndarray,
+    types: np.ndarray,
+    zero_cost: np.ndarray,
+    one_cost: np.ndarray,
+    scratch: Optional[_SweepScratch] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`_optimal_patterns_batch` with the row sums precomputed.
+
+    With ``scratch``, the returned pattern array is a bool view into
+    ``scratch.pb`` (valid until the next call); without, a fresh uint8
+    array — both hold the same 0/1 bytes.
+    """
+    mask3 = (types == _T_PATTERN).astype(np.float64)  # (B, Z, rows)
+    mask4 = (types == _T_COMPLEMENT).astype(np.float64)
+    # cost of V[c]=1: type-3 rows pay d1, type-4 rows pay d0
+    if scratch is None:
+        cost_one = np.matmul(mask3, d1) + np.matmul(mask4, d0)  # (B, Z, cols)
+        cost_zero = np.matmul(mask3, d0) + np.matmul(mask4, d1)
+        patterns = (cost_one < cost_zero).astype(np.uint8)
+        column_total = np.minimum(cost_zero, cost_one).sum(axis=2)
+    else:
+        b = types.shape[0]
+        cost_one = scratch.f1[:b]
+        cost_zero = scratch.f2[:b]
+        spare = scratch.f3[:b]
+        np.matmul(mask3, d1, out=cost_one)
+        np.matmul(mask4, d0, out=spare)
+        np.add(cost_one, spare, out=cost_one)
+        np.matmul(mask3, d0, out=cost_zero)
+        np.matmul(mask4, d1, out=spare)
+        np.add(cost_zero, spare, out=cost_zero)
+        patterns = np.less(cost_one, cost_zero, out=scratch.pb[:b])
+        column_total = np.minimum(cost_zero, cost_one, out=spare).sum(axis=2)
+    mask1 = types == _T_ZERO
+    mask2 = types == _T_ONE
+    constant_total = (
+        np.matmul(mask1, zero_cost[..., None])
+        + np.matmul(mask2, one_cost[..., None])
+    )[..., 0]
+    return patterns, column_total + constant_total
+
+
+def _optimal_types_batch(
+    d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best type per row for each candidate pattern vector, batched.
+
+    ``d0``/``d1`` have shape ``(B, rows, cols)`` and ``patterns``
+    ``(B, Z, cols)``; returns ``(types, totals)`` with shapes
+    ``(B, Z, rows)`` and ``(B, Z)``.
+    """
+    zero_cost, one_cost = _row_sums(d0, d1)
+    return _optimal_types_core(d0, d1, patterns, zero_cost, one_cost)
+
+
+def _optimal_patterns_batch(
+    d0: np.ndarray, d1: np.ndarray, types: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best pattern vector per candidate given its type vector, batched.
+
+    ``types`` has shape ``(B, Z, rows)``; returns ``(patterns, totals)``
+    with shapes ``(B, Z, cols)`` and ``(B, Z)``.
+    """
+    zero_cost, one_cost = _row_sums(d0, d1)
+    return _optimal_patterns_core(d0, d1, types, zero_cost, one_cost)
+
+
 def _optimal_types(
     d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Best type per row for each candidate pattern vector.
-
-    ``patterns`` has shape ``(Z, n_cols)``; returns ``(types, row_costs)``
-    with shapes ``(Z, n_rows)`` and ``(Z,)`` (total cost per candidate).
-    """
-    zero_cost = d0.sum(axis=1)  # type 1 per row
-    one_cost = d1.sum(axis=1)  # type 2 per row
-    v = patterns.astype(np.float64)
-    pattern_cost = d0 @ (1.0 - v).T + d1 @ v.T  # type 3: (rows, Z)
-    complement_cost = d0 @ v.T + d1 @ (1.0 - v).T  # type 4
-    z = patterns.shape[0]
-    stacked = np.empty((4, d0.shape[0], z))
-    stacked[0] = zero_cost[:, None]
-    stacked[1] = one_cost[:, None]
-    stacked[2] = pattern_cost
-    stacked[3] = complement_cost
-    best = stacked.argmin(axis=0)  # (rows, Z) in 0..3
-    row_costs = np.take_along_axis(stacked, best[None], axis=0)[0]
-    return (best + 1).astype(np.int8).T, row_costs.sum(axis=0)
+    """Single-partition view of :func:`_optimal_types_batch`."""
+    types, totals = _optimal_types_batch(d0[None], d1[None], patterns[None])
+    return types[0], totals[0]
 
 
 def _optimal_patterns(
     d0: np.ndarray, d1: np.ndarray, types: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Best pattern vector per candidate given its type vector.
+    """Single-partition view of :func:`_optimal_patterns_batch`."""
+    patterns, totals = _optimal_patterns_batch(d0[None], d1[None], types[None])
+    return patterns[0], totals[0]
 
-    ``types`` has shape ``(Z, n_rows)``; returns ``(patterns, totals)``.
+
+def _alternate_batch(
+    d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray, max_sweeps: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run the alternating optimisation for a batch of partitions.
+
+    Each item converges (or hits ``max_sweeps``) independently: as soon
+    as an item's totals stop improving it is frozen with exactly the
+    state the serial loop would return, and dropped from the active
+    stack so later sweeps only pay for the stragglers.
+
+    Returns ``(patterns, types, totals, sweeps)`` with shapes
+    ``(B, Z, cols)``, ``(B, Z, rows)``, ``(B, Z)``, ``(B,)``.
     """
-    mask3 = (types == RowType.PATTERN).astype(np.float64)  # (Z, rows)
-    mask4 = (types == RowType.COMPLEMENT).astype(np.float64)
-    # cost of V[c]=1: type-3 rows pay d1, type-4 rows pay d0
-    cost_one = mask3 @ d1 + mask4 @ d0  # (Z, cols)
-    cost_zero = mask3 @ d0 + mask4 @ d1
-    patterns = (cost_one < cost_zero).astype(np.uint8)
-    column_total = np.minimum(cost_zero, cost_one).sum(axis=1)
-    mask1 = types == RowType.ALL_ZERO
-    mask2 = types == RowType.ALL_ONE
-    constant_total = mask1 @ d0.sum(axis=1) + mask2 @ d1.sum(axis=1)
-    return patterns, column_total + constant_total
+    batch = d0.shape[0]
+    zero_cost, one_cost = _row_sums(d0, d1)
+    scratch = _SweepScratch(
+        batch, patterns.shape[1], patterns.shape[2], d0.shape[1]
+    )
+    scratch.refresh_constants(zero_cost, one_cost)
+    types, totals = _optimal_types_core(
+        d0, d1, patterns, zero_cost, one_cost, scratch
+    )
+    out_patterns = np.empty_like(patterns)
+    out_types = np.empty_like(types)
+    out_totals = np.empty_like(totals)
+    out_sweeps = np.zeros(batch, dtype=np.int64)
+    if max_sweeps < 1:
+        return patterns.copy(), types, totals, out_sweeps
+
+    if batch == 1:
+        # Serial calls and straggler chunks skip the freeze/compaction
+        # bookkeeping below — it's pure overhead with one item.  The
+        # sequence of core calls is identical, so the bits are too.
+        sweeps = 0
+        while True:
+            sweeps += 1
+            patterns, _ = _optimal_patterns_core(
+                d0, d1, types, zero_cost, one_cost, scratch
+            )
+            types, new_totals = _optimal_types_core(
+                d0, d1, patterns, zero_cost, one_cost, scratch
+            )
+            converged = bool((new_totals >= totals - 1e-12).all())
+            totals = new_totals
+            if converged or sweeps >= max_sweeps:
+                out_patterns[0] = patterns[0]
+                out_sweeps[0] = sweeps
+                return out_patterns, types, totals, out_sweeps
+
+    active = np.arange(batch)
+    sweeps = 0
+    while True:
+        sweeps += 1
+        patterns, _ = _optimal_patterns_core(
+            d0, d1, types, zero_cost, one_cost, scratch
+        )
+        types, new_totals = _optimal_types_core(
+            d0, d1, patterns, zero_cost, one_cost, scratch
+        )
+        converged = np.all(new_totals >= totals - 1e-12, axis=1)
+        totals = new_totals
+        finished = (
+            converged
+            if sweeps < max_sweeps
+            else np.ones(active.size, dtype=bool)
+        )
+        done = np.flatnonzero(finished)
+        if done.size:
+            sel = active[done]
+            out_patterns[sel] = patterns[done]
+            out_types[sel] = types[done]
+            out_totals[sel] = totals[done]
+            out_sweeps[sel] = sweeps
+            if done.size == active.size:
+                return out_patterns, out_types, out_totals, out_sweeps
+            keep = ~finished
+            active = active[keep]
+            d0 = d0[keep]
+            d1 = d1[keep]
+            zero_cost = zero_cost[keep]
+            one_cost = one_cost[keep]
+            types = types[keep]
+            totals = totals[keep]
+            scratch.refresh_constants(zero_cost, one_cost)
+
+
+def _best_of(
+    partition: Partition,
+    patterns: np.ndarray,
+    types: np.ndarray,
+    totals: np.ndarray,
+) -> OptForPartResult:
+    """Pick the best candidate of one item's final alternation state."""
+    best = int(np.argmin(totals))
+    # copies detach the winner from the batch arrays (memo entries must
+    # not pin them); _trusted skips re-validating vectors the exact
+    # half-steps produced
+    decomposition = DisjointDecomposition._trusted(
+        partition, patterns[best].copy(), types[best].copy()
+    )
+    return OptForPartResult(float(totals[best]), decomposition)
 
 
 def opt_for_part(
@@ -129,84 +465,242 @@ def opt_for_part(
     n_initial_patterns: int = 30,
     rng: Optional[np.random.Generator] = None,
     max_sweeps: int = _DEFAULT_MAX_SWEEPS,
+    memo: Optional[OptMemo] = None,
 ) -> OptForPartResult:
     """Optimise (V, T) for ``partition`` from random initial patterns.
 
     Parameters mirror the paper: ``n_initial_patterns`` is ``Z``.  The
     returned error is exact for the given cost model (no sampling).
+    ``memo`` (from :func:`memo_context`) enables the result memo; the
+    random pattern draw happens regardless, so the generator stream —
+    and therefore every downstream draw — is identical on hit and miss.
     """
     if rng is None:
         rng = np.random.default_rng()
     if n_initial_patterns < 1:
         raise ValueError("n_initial_patterns must be >= 1")
+    patterns = rng.integers(
+        0, 2, size=(n_initial_patterns, partition.n_cols), dtype=np.uint8
+    )
     # Hot path: the disabled-telemetry branch avoids even the no-op
     # span allocation — this function dominates both algorithms.
     if not obs.enabled():
-        return _opt_for_part_impl(
-            costs, p, partition, n_inputs, n_initial_patterns, rng, max_sweeps
-        )[0]
+        return _opt_single(costs, p, partition, n_inputs, patterns, max_sweeps, memo)[0]
     with obs.span(
         "opt.for_part", n_bound=partition.n_bound, n_free=partition.n_free
     ) as span:
-        result, sweeps = _opt_for_part_impl(
-            costs, p, partition, n_inputs, n_initial_patterns, rng, max_sweeps
+        result, sweeps, hit = _opt_single(
+            costs, p, partition, n_inputs, patterns, max_sweeps, memo
         )
         span.set(sweeps=sweeps, error=result.error)
         obs.incr("opt.calls")
-        obs.incr("opt.sweeps", sweeps)
+        if not hit:
+            obs.incr("opt.sweeps", sweeps)
         obs.incr("opt.lut_entries", 2 << (n_inputs - 1))
         return result
 
 
-def _opt_for_part_impl(
+def _opt_single(
     costs: BitCosts,
     p: np.ndarray,
     partition: Partition,
     n_inputs: int,
-    n_initial_patterns: int,
-    rng: np.random.Generator,
+    patterns: np.ndarray,
     max_sweeps: int,
-) -> Tuple[OptForPartResult, int]:
-    """The alternating optimisation; returns (result, sweep count)."""
+    memo: Optional[OptMemo],
+) -> Tuple[OptForPartResult, int, bool]:
+    """One partition with pre-drawn patterns; returns (result, sweeps, hit)."""
+    key = None
+    if memo is not None and caching.fast_paths_enabled():
+        key = memo.normal_key(partition, patterns, max_sweeps)
+        cached = _RESULT_MEMO.get(key)
+        if cached is not None:
+            return cached[0], cached[1], True
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
-    n_cols = partition.n_cols
-    patterns = rng.integers(0, 2, size=(n_initial_patterns, n_cols), dtype=np.uint8)
+    fin_patterns, fin_types, fin_totals, fin_sweeps = _alternate_batch(
+        d0[None], d1[None], patterns[None], max_sweeps
+    )
+    result = _best_of(partition, fin_patterns[0], fin_types[0], fin_totals[0])
+    sweeps = int(fin_sweeps[0])
+    if key is not None:
+        _RESULT_MEMO.put(key, (result, sweeps))
+    return result, sweeps, False
 
-    types, totals = _optimal_types(d0, d1, patterns)
-    sweeps = 0
-    for _ in range(max_sweeps):
-        sweeps += 1
-        patterns, _ = _optimal_patterns(d0, d1, types)
-        types, new_totals = _optimal_types(d0, d1, patterns)
-        converged = np.all(new_totals >= totals - 1e-12)
-        totals = new_totals
-        if converged:
-            break
 
-    best = int(np.argmin(totals))
-    decomposition = DisjointDecomposition(partition, patterns[best], types[best])
-    return OptForPartResult(float(totals[best]), decomposition), sweeps
+def opt_for_part_many(
+    costs: BitCosts,
+    p: np.ndarray,
+    partitions: Sequence[Partition],
+    n_inputs: int,
+    *,
+    n_initial_patterns: int = 30,
+    rng: Optional[np.random.Generator] = None,
+    max_sweeps: int = _DEFAULT_MAX_SWEEPS,
+    memo: Optional[OptMemo] = None,
+    initial_patterns: Optional[Sequence[np.ndarray]] = None,
+) -> List[OptForPartResult]:
+    """Batched :func:`opt_for_part` over same-shape partitions.
+
+    Every partition must induce the same ``(rows, cols)`` table shape
+    (SA neighbours and fixed-``b`` random samples always do).  When
+    ``initial_patterns`` is omitted, one ``(Z, cols)`` uint8 draw is
+    taken from ``rng`` per partition *in order* — exactly the draws a
+    loop of single calls would take, which is what makes a batched
+    search bit-identical to the serial one.  Callers that interleave
+    other generator use (partition sampling, SA acceptance) pre-draw
+    the patterns themselves and pass them in.
+
+    Results are returned in input order; each is bitwise equal to the
+    corresponding single-partition call.
+    """
+    partitions = list(partitions)
+    if not partitions:
+        return []
+    shape = (partitions[0].n_rows, partitions[0].n_cols)
+    for partition in partitions:
+        if (partition.n_rows, partition.n_cols) != shape:
+            raise ValueError(
+                "opt_for_part_many needs partitions of one (free, bound) "
+                f"shape; got {(partition.n_rows, partition.n_cols)} and {shape}"
+            )
+    if initial_patterns is None:
+        if n_initial_patterns < 1:
+            raise ValueError("n_initial_patterns must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng()
+        initial_patterns = [
+            rng.integers(
+                0, 2, size=(n_initial_patterns, partition.n_cols), dtype=np.uint8
+            )
+            for partition in partitions
+        ]
+    else:
+        initial_patterns = list(initial_patterns)
+        if len(initial_patterns) != len(partitions):
+            raise ValueError("one initial-pattern array is required per partition")
+        for patterns in initial_patterns:
+            if patterns.shape != initial_patterns[0].shape:
+                raise ValueError("initial-pattern arrays must share one shape")
+
+    if not obs.enabled():
+        results, _, _ = _opt_many(
+            costs, p, partitions, n_inputs, initial_patterns, max_sweeps, memo
+        )
+        return results
+    with obs.span(
+        "opt.for_part_many",
+        batch=len(partitions),
+        n_bound=partitions[0].n_bound,
+        n_free=partitions[0].n_free,
+    ) as span:
+        results, total_sweeps, hits = _opt_many(
+            costs, p, partitions, n_inputs, initial_patterns, max_sweeps, memo
+        )
+        span.set(sweeps=total_sweeps, memo_hits=hits)
+        obs.incr("opt.calls", len(partitions))
+        obs.incr("opt.sweeps", total_sweeps)
+        obs.incr("opt.lut_entries", len(partitions) * (2 << (n_inputs - 1)))
+        return results
+
+
+def _opt_many(
+    costs: BitCosts,
+    p: np.ndarray,
+    partitions: List[Partition],
+    n_inputs: int,
+    initial_patterns: Sequence[np.ndarray],
+    max_sweeps: int,
+    memo: Optional[OptMemo],
+) -> Tuple[List[OptForPartResult], int, int]:
+    """Memo-aware batched evaluation; returns (results, sweeps, hits)."""
+    count = len(partitions)
+    use_memo = memo is not None and caching.fast_paths_enabled()
+    results: List[Optional[OptForPartResult]] = [None] * count
+    keys: List[Optional[Tuple]] = [None] * count
+    misses: List[int] = []
+    total_sweeps = 0
+    hits = 0
+    for index, partition in enumerate(partitions):
+        if use_memo:
+            key = memo.normal_key(partition, initial_patterns[index], max_sweeps)
+            cached = _RESULT_MEMO.get(key)
+            if cached is not None:
+                results[index] = cached[0]
+                hits += 1
+                continue
+            keys[index] = key
+        misses.append(index)
+
+    if misses:
+        w0, w1 = costs.weighted(p)
+        rows, cols = partitions[misses[0]].n_rows, partitions[misses[0]].n_cols
+        for start in range(0, len(misses), _BATCH_LIMIT):
+            chunk = misses[start : start + _BATCH_LIMIT]
+            # gather each item's table straight into its batch slot —
+            # one pass instead of to_matrix allocations plus np.stack
+            d0 = np.empty((len(chunk), rows, cols))
+            d1 = np.empty_like(d0)
+            for j, i in enumerate(chunk):
+                idx = gather_index(partitions[i], n_inputs)
+                np.take(w0, idx, out=d0[j].reshape(-1))
+                np.take(w1, idx, out=d1[j].reshape(-1))
+            patterns = np.stack([initial_patterns[i] for i in chunk])
+            fin_patterns, fin_types, fin_totals, fin_sweeps = _alternate_batch(
+                d0, d1, patterns, max_sweeps
+            )
+            for j, index in enumerate(chunk):
+                result = _best_of(
+                    partitions[index], fin_patterns[j], fin_types[j], fin_totals[j]
+                )
+                results[index] = result
+                total_sweeps += int(fin_sweeps[j])
+                if keys[index] is not None:
+                    _RESULT_MEMO.put(keys[index], (result, int(fin_sweeps[j])))
+    return results, total_sweeps, hits  # type: ignore[return-value]
 
 
 def opt_for_part_bto(
-    costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    *,
+    memo: Optional[OptMemo] = None,
 ) -> OptForPartResult:
     """BTO-restricted ``OptForPart``: all rows are forced to type 3.
 
     With ``T`` fixed, the optimal ``V`` decomposes per column and is
-    found exactly — no random restarts, no alternation.
+    found exactly — no random restarts, no alternation, no generator
+    use, which is why the memo key needs no pattern digest.
     """
-    obs.incr("opt.bto_calls")
+    key = None
+    if memo is not None and caching.fast_paths_enabled():
+        key = memo.bto_key(partition)
+        cached = _RESULT_MEMO.get(key)
+        if cached is not None:
+            if obs.enabled():
+                obs.incr("opt.bto_calls")
+            return cached
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
     cost_zero = d0.sum(axis=0)
     cost_one = d1.sum(axis=0)
     pattern = (cost_one < cost_zero).astype(np.uint8)
     error = float(np.minimum(cost_zero, cost_one).sum())
-    return OptForPartResult(error, BoundOnlyDecomposition(partition, pattern))
+    result = OptForPartResult(error, BoundOnlyDecomposition(partition, pattern))
+    if key is not None:
+        _RESULT_MEMO.put(key, result)
+    if obs.enabled():
+        obs.incr("opt.bto_calls")
+    return result
 
 
 def opt_for_part_exhaustive(
-    costs: BitCosts, p: np.ndarray, partition: Partition, n_inputs: int
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    *,
+    memo: Optional[OptMemo] = None,
 ) -> OptForPartResult:
     """Global optimum by enumerating every pattern vector.
 
@@ -219,6 +713,12 @@ def opt_for_part_exhaustive(
             f"exhaustive search over 2**{partition.n_cols} patterns refused; "
             "use bound sets of size <= 4"
         )
+    key = None
+    if memo is not None and caching.fast_paths_enabled():
+        key = memo.exhaustive_key(partition)
+        cached = _RESULT_MEMO.get(key)
+        if cached is not None:
+            return cached
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
     n_cols = partition.n_cols
     count = 1 << n_cols
@@ -227,6 +727,7 @@ def opt_for_part_exhaustive(
         np.uint8
     )
     types, totals = _optimal_types(d0, d1, patterns)
-    best = int(np.argmin(totals))
-    decomposition = DisjointDecomposition(partition, patterns[best], types[best])
-    return OptForPartResult(float(totals[best]), decomposition)
+    result = _best_of(partition, patterns, types, totals)
+    if key is not None:
+        _RESULT_MEMO.put(key, result)
+    return result

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import caching, obs
 from ..boolean.function import BooleanFunction
 from ..core.bs_sa import run_bssa
 from ..core.config import AlgorithmConfig
@@ -113,6 +113,12 @@ class RunSpec:
         return np.random.default_rng(self.seed_sequence())
 
     def execute(self) -> ApproximationResult:
+        # Fresh caches per run: results are cache-independent by
+        # construction, but the cache hit/miss counters are not — a
+        # warm memo would make worker telemetry depend on which runs
+        # shared a process, breaking serial-vs-parallel counter
+        # equality (see tests/obs/test_integration.py).
+        caching.clear_caches()
         # Re-seed the legacy global NumPy state from the same spawned
         # sequence: the algorithms only use the explicit generator, but
         # this pins down any incidental np.random.* use in workloads.

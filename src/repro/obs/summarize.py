@@ -60,6 +60,33 @@ class TraceSummary:
             for name, stats in self.phases.items()
         }
 
+    def cache_rates(self) -> Dict[str, Dict[str, float]]:
+        """Hit rates derived from paired ``*_hit``/``*_miss`` counters.
+
+        The caching layer emits ``cache.<name>.hit``/``.miss`` per
+        cache plus the ``opt.cache_hit``/``opt.cache_miss`` aggregate
+        for the OptForPart result memo (see ``docs/performance.md``).
+        """
+        rates: Dict[str, Dict[str, float]] = {}
+        for name, value in self.counters.items():
+            if name.endswith("_hit"):
+                stem, sep = name[: -len("_hit")], "_"
+            elif name.endswith(".hit"):
+                stem, sep = name[: -len(".hit")], "."
+            else:
+                continue
+            misses = float(self.counters.get(f"{stem}{sep}miss", 0))
+            hits = float(value)
+            total = hits + misses
+            if total <= 0:
+                continue
+            rates[stem] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total,
+            }
+        return rates
+
     def render(self) -> str:
         # Imported lazily: reporting lives in the experiments package,
         # which transitively imports the instrumented core modules.
@@ -81,6 +108,15 @@ class TraceSummary:
             lines.append("counters:")
             for name in sorted(self.counters):
                 lines.append(f"  {name}: {self.counters[name]:g}")
+        rates = self.cache_rates()
+        if rates:
+            lines.append("cache hit rates:")
+            for stem in sorted(rates):
+                info = rates[stem]
+                lines.append(
+                    f"  {stem}: {info['hit_rate']:.1%} "
+                    f"({info['hits']:g} hits / {info['misses']:g} misses)"
+                )
         if self.events:
             lines.append(
                 "events: "
