@@ -10,6 +10,13 @@ Commands
 ``experiment``
     Rerun one of the paper's experiments (table1/table2/fig5/fig6 or an
     ablation) at a chosen scale.
+``run``
+    Run a paper experiment as a fault-tolerant, checkpointed campaign
+    under a campaign directory.
+``resume``
+    Resume an interrupted campaign from its checkpoint directory.
+``status``
+    Show a campaign directory's progress (done / pending / quarantined).
 ``info``
     Describe a saved configuration file.
 ``summarize``
@@ -23,7 +30,6 @@ see ``docs/observability.md``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
@@ -37,6 +43,13 @@ from .experiments import (
     run_shared_bits_study,
     run_table1,
     run_table2,
+)
+from .experiments.engine import (
+    CampaignError,
+    EngineConfig,
+    campaign_status,
+    resume_campaign,
+    run_experiment_campaign,
 )
 
 _SCALES = {
@@ -122,20 +135,71 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _engine_config(args) -> EngineConfig:
+    return EngineConfig(
+        n_jobs=args.jobs,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+        backoff_base=args.backoff,
+    )
+
+
+def _report_outcome(outcome) -> int:
+    from .experiments import reporting
+
+    summary = reporting.format_campaign_summary(outcome)
+    first, _, details = summary.partition("\n")
+    print(first)
+    if outcome.quarantined:
+        print(details, file=sys.stderr)
+        return 3
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result, outcome = run_experiment_campaign(
+        args.experiment,
+        args.scale,
+        base_seed=args.seed or 0,
+        campaign_dir=args.dir,
+        config=_engine_config(args),
+    )
+    print(result.render())
+    return _report_outcome(outcome)
+
+
+def _cmd_resume(args) -> int:
+    try:
+        result, outcome = resume_campaign(args.dir, config=_engine_config(args))
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return _report_outcome(outcome)
+
+
+def _cmd_status(args) -> int:
+    try:
+        print(campaign_status(args.dir).render())
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_summarize(args) -> int:
     try:
-        summary = obs.summarize.summarize(args.path)
+        records, bad_lineno = obs.summarize.load_trace_tolerant(args.path)
     except FileNotFoundError:
         print(f"error: trace file not found: {args.path}", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as exc:
+    if bad_lineno is not None:
         print(
-            f"error: {args.path} is not a JSONL trace "
-            f"(line {exc.lineno}: {exc.msg})",
+            f"warning: {args.path} is truncated at line {bad_lineno} "
+            f"(summarising the {len(records)} record(s) before it)",
             file=sys.stderr,
         )
-        return 2
-    print(summary.render())
+    print(obs.summarize.summarize(records).render())
     return 0
 
 
@@ -201,6 +265,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("--seed", type=int)
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--jobs", type=int, default=1, help="concurrent worker processes"
+    )
+    engine_opts.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    engine_opts.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per job before quarantine",
+    )
+    engine_opts.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base of the deterministic exponential retry backoff (s)",
+    )
+
+    run_parser = sub.add_parser(
+        "run",
+        help="run an experiment as a checkpointed campaign",
+        parents=[telemetry, engine_opts],
+    )
+    run_parser.add_argument("experiment", choices=["table2", "fig5"])
+    run_parser.add_argument(
+        "--dir", required=True, help="campaign checkpoint directory"
+    )
+    run_parser.add_argument("--scale", default="smoke", choices=sorted(_SCALES))
+    run_parser.add_argument("--seed", type=int)
+    run_parser.set_defaults(func=_cmd_run)
+
+    resume_parser = sub.add_parser(
+        "resume",
+        help="resume an interrupted campaign",
+        parents=[telemetry, engine_opts],
+    )
+    resume_parser.add_argument("dir", help="campaign checkpoint directory")
+    resume_parser.set_defaults(func=_cmd_resume)
+
+    status_parser = sub.add_parser(
+        "status", help="show a campaign directory's progress"
+    )
+    status_parser.add_argument("dir", help="campaign checkpoint directory")
+    status_parser.set_defaults(func=_cmd_status)
 
     info_parser = sub.add_parser(
         "info", help="describe a saved configuration", parents=[telemetry]

@@ -52,6 +52,16 @@ class ApproximationResult:
     def approx_function(self) -> BooleanFunction:
         return self.sequence.approx_function(self.target)
 
+    def evaluate(self, words) -> np.ndarray:
+        """Approximate output words for the given input words.
+
+        This is the reference semantics the exported hardware must
+        match: the golden-vector tests compare a netlist-level Verilog
+        simulation against exactly this path.
+        """
+        table = self.approx_function.table
+        return table[np.asarray(words, dtype=np.int64)]
+
     def per_bit_errors(self) -> List[float]:
         """Recorded per-bit setting errors (search-time values)."""
         return [

@@ -12,8 +12,16 @@ from .fig5 import Fig5Metrics, Fig5Result, run_fig5
 from .fig6 import Fig6Point, Fig6Result, per_bit_candidates, run_fig6, sweep_tradeoff
 from .shared_bits import SharedBitsPoint, SharedBitsResult, run_shared_bits_study
 from .distribution_study import DistributionStudyResult, run_distribution_study
+from .engine import (
+    CampaignOutcome,
+    Engine,
+    EngineConfig,
+    campaign_status,
+    resume_campaign,
+    run_experiment_campaign,
+)
 from .parallel import RunSpec, run_many
-from .runner import ExperimentScale, build_suite, repeated_runs
+from .runner import ExperimentScale, build_suite, repeat_specs, repeated_runs
 from .table1 import Table1Result, run_table1
 from .table2 import Table2Result, Table2Row, run_table2
 from . import reporting
@@ -36,8 +44,15 @@ __all__ = [
     "run_distribution_study",
     "RunSpec",
     "run_many",
+    "CampaignOutcome",
+    "Engine",
+    "EngineConfig",
+    "campaign_status",
+    "resume_campaign",
+    "run_experiment_campaign",
     "ExperimentScale",
     "build_suite",
+    "repeat_specs",
     "repeated_runs",
     "Table1Result",
     "run_table1",

@@ -1,0 +1,720 @@
+"""Fault-tolerant, checkpointed execution of experiment campaigns.
+
+The paper's headline tables come from thousands of independent seeded
+runs; :func:`repro.experiments.parallel.run_many` executes them but a
+single worker crash (OOM, preemption, a poison job) loses the whole
+campaign.  This module subsumes ``run_many`` with a durable job
+engine:
+
+* every :class:`~repro.experiments.parallel.RunSpec` becomes a job
+  whose result is persisted **atomically** (write to a temp file,
+  ``fsync``, ``os.replace``) under a campaign directory, so an
+  interrupted campaign resumes from its checkpoints and completes
+  byte-identical to an uninterrupted run — seeds come from the
+  existing ``SeedSequence.spawn`` scheme, so resume never re-draws RNG
+  state;
+* each job runs in a supervised worker process with a per-job timeout,
+  bounded retries with deterministic backoff, and quarantine of poison
+  jobs (partial-result reporting instead of campaign abort);
+* a seedable fault-injection harness (:mod:`repro.faults`) can kill,
+  hang, or corrupt chosen jobs so the chaos tests and CI prove the
+  recovery paths are byte-exact.
+
+Telemetry (when enabled) gains ``engine.resumed`` / ``engine.retries``
+/ ``engine.timeouts`` / ``engine.quarantined`` counters and the worker
+spans are folded into the parent session exactly as ``run_many`` does;
+with telemetry off the engine path's outputs are byte-identical to
+``run_many`` under the same base seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import faults as faults_mod
+from .. import obs
+from ..core.result import ApproximationResult, SearchStats
+from ..core.serialize import setting_from_dict, setting_to_dict
+from ..core.settings import SettingSequence
+from . import reporting
+from .parallel import RunSpec
+
+__all__ = [
+    "EngineConfig",
+    "Engine",
+    "CampaignError",
+    "CampaignMismatch",
+    "CampaignOutcome",
+    "CampaignStatus",
+    "JobFailure",
+    "atomic_write_json",
+    "backoff_seconds",
+    "result_to_payload",
+    "result_from_payload",
+    "run_experiment_campaign",
+    "resume_campaign",
+    "campaign_status",
+]
+
+_SCHEMA = 1
+_CAMPAIGN_FILE = "campaign.json"
+_JOBS_DIR = "jobs"
+_QUARANTINE_DIR = "quarantine"
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not run or resume."""
+
+
+class CampaignMismatch(CampaignError):
+    """A checkpoint directory belongs to a different campaign."""
+
+
+# ======================================================================
+# Crash-safe persistence
+# ======================================================================
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Durably write ``payload`` as JSON: temp file + fsync + rename.
+
+    A reader never observes a partially-written file — either the old
+    state exists or the complete new one does, even across SIGKILL or
+    power loss at any point.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, default=str)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+def backoff_seconds(attempt: int, base: float) -> float:
+    """Deterministic exponential backoff before retry ``attempt``.
+
+    Attempt 0 (the first execution) never waits; retry ``a`` waits
+    ``base * 2**(a - 1)`` seconds.  No jitter — two runs of the same
+    campaign with the same fault plan retry on the same schedule.
+    """
+    if attempt <= 0 or base <= 0:
+        return 0.0
+    return base * (2.0 ** (attempt - 1))
+
+
+# ======================================================================
+# Job payloads: ApproximationResult <-> durable JSON
+# ======================================================================
+def result_to_payload(spec: RunSpec, result: ApproximationResult) -> Dict[str, Any]:
+    """Serialise one job's result for its checkpoint file."""
+    return {
+        "schema": _SCHEMA,
+        "fingerprint": spec.fingerprint(),
+        "label": spec.label,
+        "algorithm": result.algorithm,
+        "benchmark": spec.name,
+        "med": result.med,
+        "elapsed_seconds": result.elapsed_seconds,
+        "stats": dataclasses.asdict(result.stats),
+        "round_history": list(result.round_history),
+        "settings": [setting_to_dict(s) for s in result.sequence.settings],
+        "seed": spec.seed_info(),
+    }
+
+
+def result_from_payload(
+    spec: RunSpec, payload: Dict[str, Any]
+) -> ApproximationResult:
+    """Reconstruct a job result, validating it belongs to ``spec``."""
+    if payload.get("schema") != _SCHEMA:
+        raise CampaignError(f"unsupported job payload schema {payload.get('schema')!r}")
+    if payload.get("fingerprint") != spec.fingerprint():
+        raise CampaignMismatch(
+            f"job payload fingerprint {payload.get('fingerprint')!r} does not "
+            f"match spec {spec.label} ({spec.fingerprint()})"
+        )
+    settings = [setting_from_dict(s) for s in payload["settings"]]
+    sequence = SettingSequence(spec.n_outputs, settings)
+    stats_fields = {f.name for f in dataclasses.fields(SearchStats)}
+    stats = SearchStats(
+        **{k: v for k, v in payload.get("stats", {}).items() if k in stats_fields}
+    )
+    return ApproximationResult(
+        algorithm=payload["algorithm"],
+        target=spec.target_function(),
+        sequence=sequence,
+        med=float(payload["med"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        stats=stats,
+        round_history=[float(v) for v in payload.get("round_history", [])],
+    )
+
+
+# ======================================================================
+# Worker process entry point
+# ======================================================================
+def _job_worker(
+    spec: RunSpec,
+    path: str,
+    fault: Optional[faults_mod.Fault],
+    capture_telemetry: bool,
+) -> None:
+    """Execute one job and persist its payload atomically.
+
+    Runs in a child process.  The worker itself writes the checkpoint
+    file, so a worker killed at *any* point leaves either no file or a
+    complete one — the parent decides success purely by payload
+    validity.  Injected crash/hang faults fire before the computation;
+    an injected corruption replaces the payload with garbage (the
+    parent must detect and retry it).
+    """
+    faults_mod.inject_worker_fault(fault)
+    sink = obs.MemorySink()
+    with obs.session(sink):
+        result = spec.execute()
+    if fault is not None and fault.kind == "corrupt":
+        with open(path, "w") as handle:
+            handle.write('{"schema": 1, "med": 0.0, "settings": [{"trunc')
+        return
+    payload = result_to_payload(spec, result)
+    if capture_telemetry:
+        payload["telemetry"] = sink.records
+    atomic_write_json(path, payload)
+
+
+# ======================================================================
+# Engine configuration and outcomes
+# ======================================================================
+@dataclass(frozen=True)
+class EngineConfig:
+    """Supervision knobs of the checkpointed engine."""
+
+    #: concurrent worker processes
+    n_jobs: int = 1
+    #: per-job wall-clock timeout in seconds (None = unlimited)
+    job_timeout: Optional[float] = None
+    #: retries after the first failed attempt before quarantine
+    max_retries: int = 2
+    #: base of the deterministic exponential retry backoff (seconds)
+    backoff_base: float = 0.0
+    #: supervision poll interval (seconds)
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+
+
+@dataclass
+class JobFailure:
+    """Why one job attempt (or a whole job) failed."""
+
+    index: int
+    label: str
+    reason: str
+    attempts: int
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class CampaignOutcome:
+    """What a campaign run produced.
+
+    ``results`` is in spec order; quarantined jobs are ``None`` —
+    partial-result reporting instead of campaign abort.
+    """
+
+    results: List[Optional[ApproximationResult]]
+    resumed: int = 0
+    executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: List[JobFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(result is not None for result in self.results)
+
+    def require_complete(self) -> List[ApproximationResult]:
+        if not self.complete:
+            labels = ", ".join(f.label for f in self.quarantined)
+            raise CampaignError(
+                f"campaign incomplete: {len(self.quarantined)} job(s) "
+                f"quarantined ({labels})"
+            )
+        return list(self.results)  # type: ignore[arg-type]
+
+
+# ======================================================================
+# The engine
+# ======================================================================
+class _Running:
+    __slots__ = ("process", "deadline", "attempt")
+
+    def __init__(self, process, deadline: Optional[float], attempt: int) -> None:
+        self.process = process
+        self.deadline = deadline
+        self.attempt = attempt
+
+
+class Engine:
+    """Checkpointed, supervised executor of :class:`RunSpec` campaigns.
+
+    With ``campaign_dir=None`` the engine still supervises workers
+    (timeouts, retries, quarantine) but checkpoints into a temporary
+    directory discarded after the run.  With a directory, completed
+    jobs are durable: a second ``run`` over the same specs skips them
+    (``engine.resumed``) and an interrupted campaign picks up where it
+    stopped.
+    """
+
+    def __init__(
+        self,
+        campaign_dir: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
+        faults: Optional[faults_mod.FaultPlan] = None,
+    ) -> None:
+        self.campaign_dir = campaign_dir
+        self.config = config or EngineConfig()
+        self.faults = faults if faults is not None else faults_mod.from_env()
+        #: recorded in campaign.json so ``repro resume`` can rebuild specs
+        self.invocation: Optional[Dict[str, Any]] = None
+        #: outcome of the most recent :meth:`run`
+        self.last_outcome: Optional[CampaignOutcome] = None
+
+    # -- campaign layout ----------------------------------------------
+    def _job_path(self, jobs_dir: str, index: int) -> str:
+        return os.path.join(jobs_dir, f"job-{index:05d}.json")
+
+    def _quarantine_path(self, index: int) -> str:
+        assert self.campaign_dir is not None
+        return os.path.join(
+            self.campaign_dir, _QUARANTINE_DIR, f"job-{index:05d}.json"
+        )
+
+    def _init_campaign(self, specs: Sequence[RunSpec]) -> None:
+        """Create or validate the campaign directory for these specs."""
+        assert self.campaign_dir is not None
+        os.makedirs(os.path.join(self.campaign_dir, _JOBS_DIR), exist_ok=True)
+        os.makedirs(os.path.join(self.campaign_dir, _QUARANTINE_DIR), exist_ok=True)
+        manifest_path = os.path.join(self.campaign_dir, _CAMPAIGN_FILE)
+        jobs = [
+            {
+                "id": f"job-{index:05d}",
+                "label": spec.label,
+                "fingerprint": spec.fingerprint(),
+                "benchmark": spec.name,
+                "algorithm": spec.algorithm,
+            }
+            for index, spec in enumerate(specs)
+        ]
+        if os.path.exists(manifest_path):
+            with open(manifest_path) as handle:
+                existing = json.load(handle)
+            recorded = [job["fingerprint"] for job in existing.get("jobs", [])]
+            ours = [job["fingerprint"] for job in jobs]
+            if recorded != ours:
+                raise CampaignMismatch(
+                    f"{self.campaign_dir} holds a different campaign "
+                    f"({len(recorded)} job(s) recorded, {len(ours)} requested; "
+                    "fingerprints differ)"
+                )
+            return
+        manifest = {
+            "schema": _SCHEMA,
+            "created": time.time(),
+            "engine": dataclasses.asdict(self.config),
+            "invocation": self.invocation,
+            "jobs": jobs,
+        }
+        atomic_write_json(manifest_path, manifest)
+
+    # -- the run loop --------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> CampaignOutcome:
+        """Execute the campaign, resuming any persisted jobs."""
+        specs = list(specs)
+        outcome = CampaignOutcome(results=[None] * len(specs))
+        if not specs:
+            self.last_outcome = outcome
+            return outcome
+        if self.campaign_dir is not None:
+            self._init_campaign(specs)
+            jobs_dir = os.path.join(self.campaign_dir, _JOBS_DIR)
+            self._execute(specs, jobs_dir, outcome)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-engine-") as jobs_dir:
+                self._execute(specs, jobs_dir, outcome)
+        self.last_outcome = outcome
+        return outcome
+
+    def _execute(
+        self, specs: List[RunSpec], jobs_dir: str, outcome: CampaignOutcome
+    ) -> None:
+        telemetry = obs.current()
+        config = self.config
+        with obs.span("engine.run", jobs=len(specs), n_jobs=config.n_jobs):
+            pending: deque = deque()
+            for index, spec in enumerate(specs):
+                if telemetry is not None:
+                    telemetry.event("run.seeded", **spec.seed_info())
+                if self._try_resume(spec, jobs_dir, index, outcome):
+                    continue
+                pending.append(index)
+            self._supervise(specs, jobs_dir, pending, outcome)
+
+    def _try_resume(
+        self, spec: RunSpec, jobs_dir: str, index: int, outcome: CampaignOutcome
+    ) -> bool:
+        """Adopt a persisted checkpoint for this job, if one is valid."""
+        path = self._job_path(jobs_dir, index)
+        if not os.path.exists(path):
+            return False
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            result = result_from_payload(spec, payload)
+        except CampaignMismatch:
+            raise
+        except (ValueError, KeyError, TypeError, OSError):
+            # Torn or stale checkpoint (should be impossible with atomic
+            # writes, but e.g. an injected corruption survives a kill):
+            # discard and re-run the job.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False
+        outcome.results[index] = result
+        outcome.resumed += 1
+        obs.incr("engine.resumed")
+        obs.event(
+            "engine.job_resumed", job=index, label=spec.label, med=result.med
+        )
+        return True
+
+    def _supervise(
+        self,
+        specs: List[RunSpec],
+        jobs_dir: str,
+        pending: deque,
+        outcome: CampaignOutcome,
+    ) -> None:
+        """Bounded-concurrency supervision loop with timeout and retry."""
+        config = self.config
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        telemetry = obs.current()
+        attempts: Dict[int, int] = {}
+        running: Dict[int, _Running] = {}
+
+        def start(index: int) -> None:
+            attempt = attempts.get(index, 0)
+            delay = backoff_seconds(attempt, config.backoff_base)
+            if delay:
+                time.sleep(delay)
+            fault = self.faults.worker_fault(index, attempt)
+            if fault is not None:
+                obs.incr("faults.injected")
+                obs.event(
+                    "faults.worker_injected",
+                    job=index,
+                    kind=fault.kind,
+                    attempt=attempt,
+                )
+            path = self._job_path(jobs_dir, index)
+            process = context.Process(
+                target=_job_worker,
+                args=(specs[index], path, fault, telemetry is not None),
+            )
+            process.start()
+            deadline = (
+                time.monotonic() + config.job_timeout
+                if config.job_timeout is not None
+                else None
+            )
+            running[index] = _Running(process, deadline, attempt)
+
+        def fail(index: int, reason: str, detail: str = "") -> None:
+            attempts[index] = attempts.get(index, 0) + 1
+            path = self._job_path(jobs_dir, index)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            if attempts[index] <= config.max_retries:
+                outcome.retries += 1
+                obs.incr("engine.retries")
+                obs.event(
+                    "engine.retry",
+                    job=index,
+                    label=specs[index].label,
+                    attempt=attempts[index],
+                    reason=reason,
+                )
+                pending.append(index)
+                return
+            failure = JobFailure(
+                index=index,
+                label=specs[index].label,
+                reason=reason,
+                attempts=attempts[index],
+                detail=detail,
+            )
+            outcome.quarantined.append(failure)
+            obs.incr("engine.quarantined")
+            obs.event(
+                "engine.quarantine", job=index, label=failure.label, reason=reason
+            )
+            if self.campaign_dir is not None:
+                atomic_write_json(self._quarantine_path(index), failure.to_dict())
+
+        def finish(index: int, slot: _Running) -> None:
+            path = self._job_path(jobs_dir, index)
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+                result = result_from_payload(specs[index], payload)
+            except (ValueError, KeyError, TypeError, OSError) as exc:
+                fail(index, "corrupt-payload", detail=str(exc))
+                return
+            outcome.results[index] = result
+            outcome.executed += 1
+            obs.incr("engine.jobs")
+            if telemetry is not None and isinstance(payload.get("telemetry"), list):
+                telemetry.absorb(payload["telemetry"], worker=index)
+            obs.event(
+                "engine.job_completed",
+                job=index,
+                label=specs[index].label,
+                attempt=slot.attempt,
+                med=result.med,
+                elapsed=result.elapsed_seconds,
+            )
+            fault = self.faults.engine_fault(index)
+            if fault is not None:
+                # Injected engine death: flush what we have, then die the
+                # hard way (SIGKILL) exactly as a crashed orchestrator
+                # would — the resume path must make this invisible.
+                obs.incr("faults.injected")
+                if telemetry is not None:
+                    telemetry.flush()
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        while pending or running:
+            while pending and len(running) < config.n_jobs:
+                start(pending.popleft())
+            progressed = False
+            for index in list(running):
+                slot = running[index]
+                process = slot.process
+                if process.is_alive():
+                    if (
+                        slot.deadline is not None
+                        and time.monotonic() > slot.deadline
+                    ):
+                        process.kill()
+                        process.join()
+                        process.close()
+                        del running[index]
+                        outcome.timeouts += 1
+                        obs.incr("engine.timeouts")
+                        fail(
+                            index,
+                            "timeout",
+                            detail=f"exceeded {config.job_timeout}s",
+                        )
+                        progressed = True
+                    continue
+                process.join()
+                exitcode = process.exitcode
+                process.close()
+                del running[index]
+                progressed = True
+                if exitcode == 0:
+                    finish(index, slot)
+                else:
+                    fail(index, f"worker-exit:{exitcode}")
+            if not progressed and running:
+                time.sleep(config.poll_interval)
+
+
+# ======================================================================
+# Experiment campaign orchestration (CLI `run` / `resume` / `status`)
+# ======================================================================
+_EXPERIMENTS = ("table2", "fig5")
+
+
+def _run_experiment(experiment: str, scale, base_seed: int, engine: Engine):
+    from .fig5 import run_fig5
+    from .table2 import run_table2
+
+    if experiment == "table2":
+        return run_table2(scale, base_seed=base_seed, engine=engine)
+    if experiment == "fig5":
+        return run_fig5(scale, base_seed=base_seed, engine=engine)
+    raise CampaignError(
+        f"unknown experiment {experiment!r}; choose from {_EXPERIMENTS}"
+    )
+
+
+def run_experiment_campaign(
+    experiment: str,
+    scale,
+    base_seed: int = 0,
+    campaign_dir: Optional[str] = None,
+    config: Optional[EngineConfig] = None,
+    faults: Optional[faults_mod.FaultPlan] = None,
+) -> Tuple[Any, CampaignOutcome]:
+    """Run a paper experiment as a checkpointed campaign.
+
+    ``scale`` is an :class:`~repro.experiments.runner.ExperimentScale`
+    or a registered scale name.  Returns the experiment result object
+    and the engine outcome (resume/retry/quarantine accounting).
+    """
+    from .runner import ExperimentScale
+
+    if isinstance(scale, str):
+        scale = ExperimentScale.by_name(scale)
+    engine = Engine(campaign_dir, config, faults)
+    engine.invocation = {
+        "experiment": experiment,
+        "scale": scale.name,
+        "base_seed": base_seed,
+    }
+    result = _run_experiment(experiment, scale, base_seed, engine)
+    assert engine.last_outcome is not None
+    return result, engine.last_outcome
+
+
+def _load_manifest(campaign_dir: str) -> Dict[str, Any]:
+    manifest_path = os.path.join(campaign_dir, _CAMPAIGN_FILE)
+    if not os.path.exists(manifest_path):
+        raise CampaignError(f"no campaign found at {campaign_dir}")
+    with open(manifest_path) as handle:
+        return json.load(handle)
+
+
+def resume_campaign(
+    campaign_dir: str,
+    config: Optional[EngineConfig] = None,
+    faults: Optional[faults_mod.FaultPlan] = None,
+) -> Tuple[Any, CampaignOutcome]:
+    """Resume an interrupted campaign from its checkpoint directory.
+
+    Rebuilds the spec list from the invocation recorded in
+    ``campaign.json``; completed jobs are adopted from their checkpoint
+    files (never re-executed), the rest run to completion.
+    """
+    manifest = _load_manifest(campaign_dir)
+    invocation = manifest.get("invocation")
+    if not invocation:
+        raise CampaignError(
+            f"{campaign_dir} records no invocation; it was not created by "
+            "`repro run` — resume it by re-running the original engine call"
+        )
+    return run_experiment_campaign(
+        invocation["experiment"],
+        invocation["scale"],
+        int(invocation.get("base_seed") or 0),
+        campaign_dir,
+        config,
+        faults,
+    )
+
+
+@dataclass
+class CampaignStatus:
+    """Snapshot of a checkpoint directory's progress."""
+
+    campaign_dir: str
+    invocation: Optional[Dict[str, Any]]
+    total: int
+    done: List[str] = field(default_factory=list)
+    pending: List[str] = field(default_factory=list)
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = f"campaign {self.campaign_dir}"
+        if self.invocation:
+            header += (
+                f" — {self.invocation.get('experiment')}"
+                f" (scale={self.invocation.get('scale')},"
+                f" seed={self.invocation.get('base_seed')})"
+            )
+        rows = [
+            ["done", len(self.done)],
+            ["pending", len(self.pending)],
+            ["quarantined", len(self.quarantined)],
+            ["total", self.total],
+        ]
+        lines = [reporting.format_table(["state", "jobs"], rows, title=header)]
+        for failure in self.quarantined:
+            lines.append(
+                f"  quarantined {failure.get('label', '?')}: "
+                f"{failure.get('reason', '?')} "
+                f"after {failure.get('attempts', '?')} attempt(s)"
+            )
+        return "\n".join(lines)
+
+
+def campaign_status(campaign_dir: str) -> CampaignStatus:
+    """Inspect a checkpoint directory without executing anything."""
+    manifest = _load_manifest(campaign_dir)
+    jobs = manifest.get("jobs", [])
+    status = CampaignStatus(
+        campaign_dir=campaign_dir,
+        invocation=manifest.get("invocation"),
+        total=len(jobs),
+    )
+    jobs_dir = os.path.join(campaign_dir, _JOBS_DIR)
+    quarantine_dir = os.path.join(campaign_dir, _QUARANTINE_DIR)
+    for job in jobs:
+        job_id = job["id"]
+        label = job.get("label", job_id)
+        if os.path.exists(os.path.join(jobs_dir, f"{job_id}.json")):
+            status.done.append(label)
+        elif os.path.exists(os.path.join(quarantine_dir, f"{job_id}.json")):
+            with open(os.path.join(quarantine_dir, f"{job_id}.json")) as handle:
+                status.quarantined.append(json.load(handle))
+        else:
+            status.pending.append(label)
+    return status

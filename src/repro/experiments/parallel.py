@@ -21,6 +21,9 @@ multi-process run and progress lines appear as runs finish.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -37,7 +40,14 @@ __all__ = ["RunSpec", "run_many", "seeds_for"]
 
 
 class RunSpec:
-    """One algorithm run, described by picklable data."""
+    """One algorithm run, described by picklable data.
+
+    Seeding comes in two flavours: the default *spawned* mode draws the
+    run's generator from ``SeedSequence(base_seed).spawn(...)`` exactly
+    like the serial runner, while ``direct_seed`` pins the generator to
+    ``np.random.default_rng(direct_seed)`` — the form the Fig. 5
+    harness uses for its single BS-SA compilations.
+    """
 
     def __init__(
         self,
@@ -50,6 +60,7 @@ class RunSpec:
         base_seed: Optional[int],
         spawn_index: int,
         architecture: str = "normal",
+        direct_seed: Optional[int] = None,
     ) -> None:
         if algorithm not in ("dalta", "bs-sa"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -62,6 +73,7 @@ class RunSpec:
         self.base_seed = base_seed
         self.spawn_index = int(spawn_index)
         self.architecture = architecture
+        self.direct_seed = direct_seed
 
     @classmethod
     def for_function(
@@ -72,6 +84,7 @@ class RunSpec:
         base_seed: Optional[int],
         spawn_index: int,
         architecture: str = "normal",
+        direct_seed: Optional[int] = None,
     ) -> "RunSpec":
         return cls(
             algorithm,
@@ -83,7 +96,48 @@ class RunSpec:
             base_seed,
             spawn_index,
             architecture,
+            direct_seed,
         )
+
+    def target_function(self) -> BooleanFunction:
+        """Materialise the target this spec runs against."""
+        return BooleanFunction(
+            self.n_inputs, self.n_outputs, self.table, name=self.name
+        )
+
+    def fingerprint(self) -> str:
+        """Content digest binding a durable campaign job to this spec.
+
+        Covers everything that determines the run's output — the target
+        table, the algorithm configuration, and the seeding — so a
+        checkpoint directory can refuse to resume against a different
+        campaign definition.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.table.tobytes())
+        descriptor = {
+            "algorithm": self.algorithm,
+            "name": self.name,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "config": dataclasses.asdict(self.config),
+            "base_seed": self.base_seed,
+            "spawn_index": self.spawn_index,
+            "architecture": self.architecture,
+            "direct_seed": self.direct_seed,
+        }
+        digest.update(json.dumps(descriptor, sort_keys=True).encode())
+        return digest.hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        """Human-readable job label for status displays."""
+        seed = (
+            f"seed={self.direct_seed}"
+            if self.direct_seed is not None
+            else f"run={self.spawn_index}"
+        )
+        return f"{self.name}/{self.algorithm}/{self.architecture}[{seed}]"
 
     def seed_sequence(self) -> np.random.SeedSequence:
         """The spawned child seed, exactly as the serial runner spawns it.
@@ -97,7 +151,13 @@ class RunSpec:
         )[self.spawn_index]
 
     def seed_info(self) -> Dict[str, Any]:
-        """Manifest record of the spawned seed driving this run."""
+        """Manifest record of the seed driving this run."""
+        if self.direct_seed is not None:
+            return {
+                "benchmark": self.name,
+                "algorithm": self.algorithm,
+                "direct_seed": self.direct_seed,
+            }
         sequence = self.seed_sequence()
         return {
             "benchmark": self.name,
@@ -109,7 +169,13 @@ class RunSpec:
         }
 
     def _rng(self) -> np.random.Generator:
-        """Identical to run ``spawn_index`` of the serial repeated_runs."""
+        """Identical to run ``spawn_index`` of the serial repeated_runs.
+
+        In direct-seed mode, identical to the serial harness's
+        ``np.random.default_rng(direct_seed)`` call.
+        """
+        if self.direct_seed is not None:
+            return np.random.default_rng(self.direct_seed)
         return np.random.default_rng(self.seed_sequence())
 
     def execute(self) -> ApproximationResult:
@@ -122,11 +188,12 @@ class RunSpec:
         # Re-seed the legacy global NumPy state from the same spawned
         # sequence: the algorithms only use the explicit generator, but
         # this pins down any incidental np.random.* use in workloads.
-        sequence = self.seed_sequence()
-        np.random.seed(int(sequence.generate_state(1)[0]) % (2**32))
-        target = BooleanFunction(
-            self.n_inputs, self.n_outputs, self.table, name=self.name
-        )
+        if self.direct_seed is not None:
+            np.random.seed(self.direct_seed % (2**32))
+        else:
+            sequence = self.seed_sequence()
+            np.random.seed(int(sequence.generate_state(1)[0]) % (2**32))
+        target = self.target_function()
         if self.algorithm == "dalta":
             return run_dalta(target, self.config, rng=self._rng())
         return run_bssa(

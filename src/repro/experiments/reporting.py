@@ -17,6 +17,7 @@ __all__ = [
     "format_table",
     "format_value",
     "format_phase_timings",
+    "format_campaign_summary",
     "to_json",
     "summarize_runs",
 ]
@@ -103,6 +104,26 @@ def format_phase_timings(
     return format_table(
         ["phase", "count", "total(s)", "mean(s)"], rows, title=title
     )
+
+
+def format_campaign_summary(outcome) -> str:
+    """One-line execution summary of a checkpointed campaign.
+
+    ``outcome`` is a :class:`repro.experiments.engine.CampaignOutcome`;
+    quarantined jobs get one detail line each (partial-result
+    reporting — the campaign still renders its tables).
+    """
+    lines = [
+        f"campaign: {outcome.executed} executed, {outcome.resumed} resumed, "
+        f"{outcome.retries} retried, {outcome.timeouts} timed out, "
+        f"{len(outcome.quarantined)} quarantined"
+    ]
+    for failure in outcome.quarantined:
+        lines.append(
+            f"  quarantined {failure.label}: {failure.reason} "
+            f"after {failure.attempts} attempt(s)"
+        )
+    return "\n".join(lines)
 
 
 def summarize_runs(meds: Sequence[float]) -> Dict[str, float]:

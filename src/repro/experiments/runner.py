@@ -13,7 +13,16 @@ from ..core.config import AlgorithmConfig
 from ..core.result import ApproximationResult
 from ..workloads import registry
 
-__all__ = ["ExperimentScale", "build_suite", "repeated_runs"]
+__all__ = [
+    "ExperimentScale",
+    "SCALE_NAMES",
+    "build_suite",
+    "repeated_runs",
+    "repeat_specs",
+]
+
+#: registered scale names accepted by :meth:`ExperimentScale.by_name`
+SCALE_NAMES = ("smoke", "default", "paper")
 
 
 @dataclass(frozen=True)
@@ -82,12 +91,46 @@ class ExperimentScale:
             benchmarks=("cos", "multiplier"),
         )
 
+    @classmethod
+    def by_name(cls, name: str) -> "ExperimentScale":
+        """Resolve a registered scale name (see :data:`SCALE_NAMES`)."""
+        if name not in SCALE_NAMES:
+            raise ValueError(
+                f"unknown scale {name!r}; choose from {', '.join(SCALE_NAMES)}"
+            )
+        return getattr(cls, name)()
+
 
 def build_suite(scale: ExperimentScale) -> Dict[str, BooleanFunction]:
     """Materialise the benchmark functions for a scale."""
     return {
         name: registry.get(name, scale.n_inputs) for name in scale.benchmarks
     }
+
+
+def repeat_specs(
+    algorithm: str,
+    target: BooleanFunction,
+    config: AlgorithmConfig,
+    n_runs: int,
+    base_seed: Optional[int],
+    architecture: str = "normal",
+):
+    """Build the :class:`RunSpec` list for ``n_runs`` repeated runs.
+
+    Spec ``i`` is bit-identical to serial run ``i`` of
+    :func:`repeated_runs` under the same ``base_seed`` — this is the
+    single place the Table-II / Fig-5 harnesses and the checkpointed
+    engine derive their repeated-run jobs from.
+    """
+    from .parallel import RunSpec
+
+    return [
+        RunSpec.for_function(
+            algorithm, target, config, base_seed, index, architecture
+        )
+        for index in range(n_runs)
+    ]
 
 
 def repeated_runs(

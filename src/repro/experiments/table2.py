@@ -23,7 +23,7 @@ from .. import obs
 from ..core.bs_sa import run_bssa
 from ..core.dalta import run_dalta
 from . import reporting
-from .runner import ExperimentScale, build_suite, repeated_runs
+from .runner import ExperimentScale, build_suite, repeat_specs, repeated_runs
 
 __all__ = ["Table2Row", "Table2Result", "run_table2"]
 
@@ -147,32 +147,87 @@ class Table2Result:
         }
 
 
+def _table2_specs(scale: ExperimentScale, suite, base_seed: int):
+    """One flat job list for the whole campaign, in benchmark order.
+
+    Per benchmark: ``n_runs`` DALTA jobs at ``base_seed`` then
+    ``n_runs`` BS-SA jobs at ``base_seed + 1`` — the same specs (and
+    therefore the same spawned seeds) as the ``run_many`` path.
+    """
+    specs = []
+    for _, target in suite.items():
+        specs.extend(
+            repeat_specs("dalta", target, scale.dalta_config, scale.n_runs, base_seed)
+        )
+        specs.extend(
+            repeat_specs(
+                "bs-sa", target, scale.bssa_config, scale.n_runs, base_seed + 1
+            )
+        )
+    return specs
+
+
+def _table2_row(name: str, dalta_runs, bssa_runs) -> Table2Row:
+    return Table2Row(
+        benchmark=name,
+        dalta=reporting.summarize_runs([r.med for r in dalta_runs]),
+        dalta_time=float(np.mean([r.elapsed_seconds for r in dalta_runs])),
+        bssa=reporting.summarize_runs([r.med for r in bssa_runs]),
+        bssa_time=float(np.mean([r.elapsed_seconds for r in bssa_runs])),
+    )
+
+
 def run_table2(
-    scale: Optional[ExperimentScale] = None, base_seed: int = 0
+    scale: Optional[ExperimentScale] = None,
+    base_seed: int = 0,
+    engine=None,
 ) -> Table2Result:
-    """Regenerate Table II at the given scale."""
+    """Regenerate Table II at the given scale.
+
+    With ``engine`` (a :class:`repro.experiments.engine.Engine`), the
+    whole campaign runs as one checkpointed job list — resumable and
+    fault-tolerant; quarantined jobs are dropped from the statistics
+    (partial-result reporting).  Outputs are byte-identical to the
+    engine-less path under the same ``base_seed``.
+    """
     if scale is None:
         scale = ExperimentScale.default()
     suite = build_suite(scale)
     result = Table2Result(scale.name, scale.n_inputs, scale.n_runs)
 
+    if engine is not None:
+        specs = _table2_specs(scale, suite, base_seed)
+        outcome = engine.run(specs)
+        cursor = 0
+        for name in suite:
+            dalta_runs = [
+                r
+                for r in outcome.results[cursor : cursor + scale.n_runs]
+                if r is not None
+            ]
+            cursor += scale.n_runs
+            bssa_runs = [
+                r
+                for r in outcome.results[cursor : cursor + scale.n_runs]
+                if r is not None
+            ]
+            cursor += scale.n_runs
+            if not dalta_runs or not bssa_runs:
+                continue
+            result.rows.append(_table2_row(name, dalta_runs, bssa_runs))
+        return result
+
     for name, target in suite.items():
         with obs.span("table2.benchmark", benchmark=name):
             if scale.n_jobs > 1:
-                from .parallel import RunSpec, run_many
+                from .parallel import run_many
 
-                dalta_specs = [
-                    RunSpec.for_function(
-                        "dalta", target, scale.dalta_config, base_seed, i
-                    )
-                    for i in range(scale.n_runs)
-                ]
-                bssa_specs = [
-                    RunSpec.for_function(
-                        "bs-sa", target, scale.bssa_config, base_seed + 1, i
-                    )
-                    for i in range(scale.n_runs)
-                ]
+                dalta_specs = repeat_specs(
+                    "dalta", target, scale.dalta_config, scale.n_runs, base_seed
+                )
+                bssa_specs = repeat_specs(
+                    "bs-sa", target, scale.bssa_config, scale.n_runs, base_seed + 1
+                )
                 dalta_runs = run_many(dalta_specs, scale.n_jobs)
                 bssa_runs = run_many(bssa_specs, scale.n_jobs)
             else:
@@ -186,17 +241,5 @@ def run_table2(
                     scale.n_runs,
                     base_seed + 1,
                 )
-            result.rows.append(
-                Table2Row(
-                    benchmark=name,
-                    dalta=reporting.summarize_runs([r.med for r in dalta_runs]),
-                    dalta_time=float(
-                        np.mean([r.elapsed_seconds for r in dalta_runs])
-                    ),
-                    bssa=reporting.summarize_runs([r.med for r in bssa_runs]),
-                    bssa_time=float(
-                        np.mean([r.elapsed_seconds for r in bssa_runs])
-                    ),
-                )
-            )
+            result.rows.append(_table2_row(name, dalta_runs, bssa_runs))
     return result

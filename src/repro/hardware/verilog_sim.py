@@ -1,0 +1,278 @@
+"""Netlist-level simulation of the emitted Verilog.
+
+:mod:`repro.hardware.simulate` verifies *designs* (the structural
+model); this module instead verifies the *emitted RTL text*: it parses
+the Verilog produced by :func:`repro.hardware.verilog.emit_design`
+together with its ``$readmemb`` memory images and evaluates the
+netlist — wire concatenations, RAM lookups, mode multiplexers — for
+given input words.  The golden-vector tests exhaustively compare this
+against the Python :meth:`ApproximationResult.evaluate` reference, so
+a wiring bug in the emitter (a swapped routing bit, a mis-addressed
+free table, a wrong mode constant) fails loudly instead of surviving
+until someone runs a real simulator.
+
+Only the constructs the emitter produces are supported; anything else
+raises :class:`RtlError`.  Evaluation is lazy, and reading the output
+of a clock-gated (``en=1'b0``) RAM is an error — the emitted muxes
+must never select a disabled RAM's output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RtlError", "RtlNetlist", "simulate_rtl", "simulate_design_rtl"]
+
+
+class RtlError(ValueError):
+    """The RTL text uses a construct this interpreter does not model."""
+
+
+_MODULE_RE = re.compile(r"^module\s+(\w+)\s*\(", re.MULTILINE)
+_INPUT_RE = re.compile(r"input\s+wire\s*(?:\[(\d+):0\])?\s+(\w+)")
+_OUTPUT_RE = re.compile(r"output\s+wire\s*(?:\[(\d+):0\])?\s+(\w+)")
+_WIRE_DEF_RE = re.compile(r"^wire\s*(?:\[(\d+):0\])?\s*(\w+)\s*=\s*(.+);$")
+_WIRE_DECL_RE = re.compile(r"^wire\s*(?:\[(\d+):0\])?\s*(\w+)\s*;$")
+_ASSIGN_RE = re.compile(r"^assign\s+(\w+)(?:\[(\d+)\])?\s*=\s*(.+);$")
+_RAM_RE = re.compile(
+    r"^alut_ram\s*#\(\s*\.AW\((\d+)\),\s*\.DW\((\d+)\),\s*"
+    r"\.INIT\(\"([^\"]+)\"\)\s*\)\s*(\w+)\s*\(\s*\.clk\(clk\),\s*"
+    r"\.en\(([^)]+)\),\s*\.addr\(([^)]+)\),\s*\.data\((\w+)\)\s*\);$"
+)
+_LITERAL_RE = re.compile(r"^(\d+)'([bd])([01_]+|\d+)$")
+_BITSEL_RE = re.compile(r"^(\w+)\[(\d+)\]$")
+_PARTSEL_RE = re.compile(r"^(\w+)\[(\d+):(\d+)\]$")
+
+
+class _Ram:
+    """One ``alut_ram`` instance: its memory image and port wiring."""
+
+    __slots__ = ("aw", "dw", "enabled_expr", "addr_expr", "mem")
+
+    def __init__(self, aw: int, dw: int, en: str, addr: str, image: str) -> None:
+        self.aw = aw
+        self.dw = dw
+        self.enabled_expr = en.strip()
+        self.addr_expr = addr.strip()
+        rows = [line.strip() for line in image.splitlines() if line.strip()]
+        if len(rows) != (1 << aw):
+            raise RtlError(
+                f"memory image has {len(rows)} rows, RAM expects {1 << aw}"
+            )
+        self.mem = [int(row, 2) for row in rows]
+
+
+def _split_concat(body: str) -> List[str]:
+    """Split a ``{a, b, ...}`` body at top-level commas."""
+    parts, depth, current = [], 0, ""
+    for char in body:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _split_ternary(expr: str) -> Optional[Tuple[str, str, str]]:
+    """Split ``cond ? a : b`` at the top level, or None."""
+    depth = 0
+    for i, char in enumerate(expr):
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+        elif char == "?" and depth == 0:
+            cond = expr[:i].strip()
+            rest = expr[i + 1 :]
+            colon_depth = 0
+            for j, c in enumerate(rest):
+                if c == "{":
+                    colon_depth += 1
+                elif c == "}":
+                    colon_depth -= 1
+                elif c == ":" and colon_depth == 0:
+                    return cond, rest[:j].strip(), rest[j + 1 :].strip()
+            raise RtlError(f"ternary without ':' in {expr!r}")
+    return None
+
+
+class RtlNetlist:
+    """A parsed top module plus its memory images.
+
+    ``evaluate(word)`` computes the combinational value of the output
+    port for one input word — the steady-state value the registered
+    RTL reaches after the pipeline fills, which is what the
+    self-checking testbench samples.
+    """
+
+    def __init__(self, source: str, images: Dict[str, str]) -> None:
+        match = _MODULE_RE.search(source)
+        if match is None:
+            raise RtlError("no module declaration found")
+        self.module = match.group(1)
+        body = source[match.start() : source.index("endmodule", match.start())]
+
+        self.widths: Dict[str, int] = {}
+        self.input_name, self.output_name = None, None
+        for m in _INPUT_RE.finditer(body):
+            width, name = (int(m.group(1) or 0) + 1), m.group(2)
+            self.widths[name] = width
+            if name != "clk":
+                self.input_name = name
+        for m in _OUTPUT_RE.finditer(body):
+            self.output_name = m.group(2)
+            self.widths[m.group(2)] = int(m.group(1) or 0) + 1
+        if self.input_name is None or self.output_name is None:
+            raise RtlError("module must have an input bus and an output bus")
+
+        #: wire name -> defining expression
+        self.defs: Dict[str, str] = {}
+        #: output bit index -> expression (None key for whole-bus assign)
+        self.out_bits: Dict[Optional[int], str] = {}
+        #: data-wire name -> RAM instance
+        self.rams: Dict[str, _Ram] = {}
+
+        for raw in body.splitlines():
+            line = raw.strip()
+            if (
+                not line
+                or line.startswith("//")
+                or line.startswith("module")
+                or line.startswith("input")
+                or line.startswith("output")
+                or line == ");"
+            ):
+                continue
+            m = _RAM_RE.match(line)
+            if m:
+                aw, dw, init, _, en, addr, data = m.groups()
+                if init not in images:
+                    raise RtlError(f"missing memory image {init!r}")
+                self.rams[data] = _Ram(
+                    int(aw), int(dw), en, addr, images[init]
+                )
+                self.widths[data] = int(dw)
+                continue
+            m = _WIRE_DEF_RE.match(line)
+            if m:
+                width, name, expr = m.groups()
+                self.widths[name] = int(width or 0) + 1
+                self.defs[name] = expr.strip()
+                continue
+            m = _WIRE_DECL_RE.match(line)
+            if m:
+                width, name = m.groups()
+                self.widths[name] = int(width or 0) + 1
+                continue
+            m = _ASSIGN_RE.match(line)
+            if m:
+                target, bit, expr = m.groups()
+                if target != self.output_name:
+                    raise RtlError(f"assign to non-output {target!r}")
+                self.out_bits[None if bit is None else int(bit)] = expr.strip()
+                continue
+            raise RtlError(f"unsupported RTL construct: {line!r}")
+
+    # -- expression evaluation ----------------------------------------
+    def _eval(self, expr: str, env: Dict[str, int]) -> Tuple[int, int]:
+        """Evaluate ``expr`` to ``(value, width)`` for one input word."""
+        expr = expr.strip()
+        ternary = _split_ternary(expr)
+        if ternary is not None:
+            cond, then, other = ternary
+            value, _ = self._eval(cond, env)
+            return self._eval(then if value else other, env)
+        if expr.startswith("{") and expr.endswith("}"):
+            value, width = 0, 0
+            for part in _split_concat(expr[1:-1]):
+                pv, pw = self._eval(part, env)
+                value = (value << pw) | pv
+                width += pw
+            return value, width
+        m = _LITERAL_RE.match(expr)
+        if m:
+            width, base, digits = m.groups()
+            value = int(digits.replace("_", ""), 2 if base == "b" else 10)
+            return value, int(width)
+        m = _BITSEL_RE.match(expr)
+        if m:
+            value, _ = self._resolve(m.group(1), env)
+            return (value >> int(m.group(2))) & 1, 1
+        m = _PARTSEL_RE.match(expr)
+        if m:
+            name, high, low = m.group(1), int(m.group(2)), int(m.group(3))
+            value, _ = self._resolve(name, env)
+            return (value >> low) & ((1 << (high - low + 1)) - 1), high - low + 1
+        if re.fullmatch(r"\w+", expr):
+            return self._resolve(expr, env)
+        raise RtlError(f"unsupported expression: {expr!r}")
+
+    def _resolve(self, name: str, env: Dict[str, int]) -> Tuple[int, int]:
+        if name in env:
+            return env[name], self.widths.get(name, 1)
+        ram = self.rams.get(name)
+        if ram is not None:
+            enabled, _ = self._eval(ram.enabled_expr, env)
+            if not enabled:
+                raise RtlError(
+                    f"value of clock-gated RAM output {name!r} was read"
+                )
+            addr, width = self._eval(ram.addr_expr, env)
+            if width != ram.aw:
+                raise RtlError(
+                    f"address width {width} != AW {ram.aw} on RAM {name!r}"
+                )
+            value = ram.mem[addr]
+            env[name] = value
+            return value, ram.dw
+        definition = self.defs.get(name)
+        if definition is None:
+            raise RtlError(f"undefined signal {name!r}")
+        value, _ = self._eval(definition, env)
+        env[name] = value
+        return value, self.widths.get(name, 1)
+
+    def evaluate(self, word: int) -> int:
+        env: Dict[str, int] = {self.input_name: int(word), "clk": 0}
+        if None in self.out_bits:
+            value, _ = self._eval(self.out_bits[None], env)
+            return value
+        value = 0
+        for bit, expr in self.out_bits.items():
+            bit_value, _ = self._eval(expr, env)
+            value |= (bit_value & 1) << bit
+        return value
+
+
+def simulate_rtl(
+    source: str, images: Dict[str, str], words
+) -> np.ndarray:
+    """Evaluate the emitted netlist for the given input words."""
+    netlist = RtlNetlist(source, images)
+    return np.array(
+        [netlist.evaluate(int(word)) for word in np.asarray(words).reshape(-1)],
+        dtype=np.int64,
+    )
+
+
+def simulate_design_rtl(
+    design, words, module_name: Optional[str] = None
+) -> np.ndarray:
+    """Emit a design's RTL + memories and simulate the emitted text."""
+    from .verilog import emit_design, emit_memory_images
+
+    return simulate_rtl(
+        emit_design(design, module_name),
+        emit_memory_images(design, module_name),
+        words,
+    )

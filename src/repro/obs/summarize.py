@@ -18,7 +18,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Union
 
-__all__ = ["PhaseStats", "TraceSummary", "load_trace", "summarize"]
+__all__ = [
+    "PhaseStats",
+    "TraceSummary",
+    "load_trace",
+    "load_trace_tolerant",
+    "summarize",
+]
 
 
 @dataclass
@@ -87,10 +93,27 @@ class TraceSummary:
             }
         return rates
 
+    def engine_stats(self) -> Dict[str, float]:
+        """The checkpointed-engine and fault-injection counters.
+
+        ``engine.jobs`` / ``engine.resumed`` / ``engine.retries`` /
+        ``engine.timeouts`` / ``engine.quarantined`` plus
+        ``faults.injected`` — empty when the trace never ran the
+        engine.
+        """
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if name.startswith("engine.") or name.startswith("faults.")
+        }
+
     def render(self) -> str:
         # Imported lazily: reporting lives in the experiments package,
         # which transitively imports the instrumented core modules.
         from ..experiments import reporting
+
+        if not (self.phases or self.counters or self.events or self.manifests):
+            return "trace is empty: no spans, counters, or events recorded"
 
         ordered = sorted(
             self.phases.values(), key=lambda s: s.total, reverse=True
@@ -108,6 +131,11 @@ class TraceSummary:
             lines.append("counters:")
             for name in sorted(self.counters):
                 lines.append(f"  {name}: {self.counters[name]:g}")
+        engine = self.engine_stats()
+        if engine:
+            lines.append("engine:")
+            for name in sorted(engine):
+                lines.append(f"  {name}: {engine[name]:g}")
         rates = self.cache_rates()
         if rates:
             lines.append("cache hit rates:")
@@ -126,7 +154,7 @@ class TraceSummary:
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Read every record from a JSONL trace file."""
+    """Read every record from a JSONL trace file (strict)."""
     records = []
     with open(path) as handle:
         for line in handle:
@@ -134,6 +162,28 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def load_trace_tolerant(path: str):
+    """Read a JSONL trace, stopping gracefully at the first bad line.
+
+    A trace written by a process that crashed or was killed mid-write
+    can end in a truncated line; this reads every parseable record and
+    reports where parsing stopped.  Returns ``(records, bad_lineno)``
+    where ``bad_lineno`` is the 1-based line number of the first
+    unparseable line (``None`` for a clean file).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                return records, lineno
+    return records, None
 
 
 def summarize(source: Union[str, Iterable[Dict[str, Any]]]) -> TraceSummary:

@@ -1,0 +1,111 @@
+"""Chaos differential test (ISSUE 3 satellite 1).
+
+A seeded smoke-scale Table-II campaign is run twice: once fault-free
+and once with ``repro.faults`` killing two workers and hanging one job
+until the supervisor times it out.  The recovered campaign must be
+**byte-identical** to the fault-free one on every deterministic output
+(MED statistics, time-stripped report render), and the telemetry
+counters must match the injection plan exactly.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan
+from repro.experiments.engine import Engine, EngineConfig
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.table2 import run_table2
+
+pytestmark = pytest.mark.chaos
+
+BASE_SEED = 0
+
+#: two worker kills + one hang (the supervisor must time it out)
+PLAN = FaultPlan.parse("crash@1;crash@5;hang@2")
+
+#: generous per-job cap — smoke jobs finish in ~50ms even on a loaded
+#: single-core runner, while the injected hang sleeps 3600s
+JOB_TIMEOUT = 5.0
+
+
+def _strip_times(result):
+    """A deep copy with wall-clock fields pinned (the only
+    nondeterministic outputs); everything else must match bytewise."""
+    clone = copy.deepcopy(result)
+    for row in clone.rows:
+        row.dalta_time = 1.0
+        row.bssa_time = 1.0
+    return clone
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    scale = ExperimentScale.smoke()
+    engine = Engine(config=EngineConfig(n_jobs=2), faults=FaultPlan())
+    result = run_table2(scale, base_seed=BASE_SEED, engine=engine)
+    return result, engine.last_outcome
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    scale = ExperimentScale.smoke()
+    sink = obs.MemorySink()
+    with obs.session(sink):
+        engine = Engine(
+            config=EngineConfig(
+                n_jobs=2, job_timeout=JOB_TIMEOUT, max_retries=2
+            ),
+            faults=PLAN,
+        )
+        result = run_table2(scale, base_seed=BASE_SEED, engine=engine)
+    summary = obs.summarize.summarize(sink.records)
+    return result, engine.last_outcome, summary
+
+
+class TestChaosDifferential:
+    def test_meds_byte_identical(self, fault_free, faulted):
+        """Every MED statistic matches the fault-free run bytewise."""
+        free_rows = fault_free[0].as_dict()["rows"]
+        fault_rows = faulted[0].as_dict()["rows"]
+        for free, chaos in zip(free_rows, fault_rows):
+            assert json.dumps(free["dalta"], sort_keys=True) == json.dumps(
+                chaos["dalta"], sort_keys=True
+            )
+            assert json.dumps(free["bssa"], sort_keys=True) == json.dumps(
+                chaos["bssa"], sort_keys=True
+            )
+
+    def test_report_byte_identical_modulo_wall_clock(self, fault_free, faulted):
+        assert (
+            _strip_times(fault_free[0]).render()
+            == _strip_times(faulted[0]).render()
+        )
+
+    def test_no_jobs_lost(self, fault_free, faulted):
+        free_outcome, chaos_outcome = fault_free[1], faulted[1]
+        assert chaos_outcome.complete
+        assert chaos_outcome.executed == free_outcome.executed
+        assert not chaos_outcome.quarantined
+
+    def test_counters_match_injection_plan(self, faulted):
+        """crash@1 + crash@5 + hang@2 => 3 retries, 1 timeout, 0 quarantine."""
+        _, outcome, summary = faulted
+        assert outcome.retries == 3
+        assert outcome.timeouts == 1
+        assert summary.counters["engine.retries"] == 3
+        assert summary.counters["engine.timeouts"] == 1
+        assert summary.counters["faults.injected"] == len(PLAN)
+        assert summary.counters["engine.jobs"] == outcome.executed
+        assert "engine.quarantined" not in summary.counters
+
+    def test_engine_stats_surface_in_summary(self, faulted):
+        _, _, summary = faulted
+        stats = summary.engine_stats()
+        assert stats["engine.retries"] == 3
+        assert stats["faults.injected"] == 3
+        rendered = summary.render()
+        assert "engine:" in rendered
+        assert "engine.retries: 3" in rendered

@@ -1,0 +1,163 @@
+"""Kill-and-resume test (ISSUE 3 satellite 2).
+
+A subprocess runs a seeded smoke-scale Table-II campaign with an
+``abort@3`` engine fault: the orchestrator SIGKILLs itself immediately
+after job 3's checkpoint persists — a deterministic job boundary.  The
+parent then resumes the campaign from the checkpoint directory and
+asserts:
+
+* the resumed campaign's results are byte-identical to an
+  uninterrupted fault-free run (MED statistics and time-stripped
+  report render);
+* no completed job re-executes — via the ``engine.resumed`` counter
+  (exactly 4 jobs adopted) and via the checkpoint files' mtimes, which
+  must not change across the resume.
+"""
+
+import copy
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.faults import ENV_VAR, FaultPlan
+from repro.experiments.engine import (
+    Engine,
+    EngineConfig,
+    campaign_status,
+    resume_campaign,
+)
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.table2 import run_table2
+
+pytestmark = pytest.mark.chaos
+
+BASE_SEED = 0
+ABORT_AFTER_JOB = 3
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+_CHILD = """
+import sys
+from repro.experiments.engine import run_experiment_campaign
+run_experiment_campaign("table2", "smoke", {seed}, campaign_dir=sys.argv[1])
+"""
+
+
+def _run_child_until_killed(campaign_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env[ENV_VAR] = f"abort@{ABORT_AFTER_JOB}"
+    return subprocess.run(
+        [sys.executable, "-c", _CHILD.format(seed=BASE_SEED), campaign_dir],
+        env=env,
+        capture_output=True,
+        timeout=300,
+    )
+
+
+def _strip_times(result):
+    clone = copy.deepcopy(result)
+    for row in clone.rows:
+        row.dalta_time = 1.0
+        row.bssa_time = 1.0
+    return clone
+
+
+@pytest.fixture(scope="module")
+def killed_campaign(tmp_path_factory):
+    campaign_dir = str(tmp_path_factory.mktemp("campaign"))
+    proc = _run_child_until_killed(campaign_dir)
+    return campaign_dir, proc
+
+
+@pytest.fixture(scope="module")
+def resumed(killed_campaign):
+    campaign_dir, _ = killed_campaign
+    jobs_dir = os.path.join(campaign_dir, "jobs")
+    mtimes_before = {
+        name: os.stat(os.path.join(jobs_dir, name)).st_mtime_ns
+        for name in sorted(os.listdir(jobs_dir))
+    }
+    sink = obs.MemorySink()
+    with obs.session(sink):
+        result, outcome = resume_campaign(campaign_dir, faults=FaultPlan())
+    summary = obs.summarize.summarize(sink.records)
+    return campaign_dir, result, outcome, summary, mtimes_before
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    engine = Engine(config=EngineConfig(n_jobs=1), faults=FaultPlan())
+    result = run_table2(
+        ExperimentScale.smoke(), base_seed=BASE_SEED, engine=engine
+    )
+    return result, engine.last_outcome
+
+
+class TestKillAtJobBoundary:
+    def test_child_died_by_sigkill(self, killed_campaign):
+        _, proc = killed_campaign
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+    def test_exactly_the_completed_jobs_are_checkpointed(self, killed_campaign):
+        campaign_dir, _ = killed_campaign
+        jobs = sorted(os.listdir(os.path.join(campaign_dir, "jobs")))
+        assert jobs == [
+            f"job-{i:05d}.json" for i in range(ABORT_AFTER_JOB + 1)
+        ]
+        status = campaign_status(campaign_dir)
+        assert len(status.done) == ABORT_AFTER_JOB + 1
+        assert len(status.pending) == status.total - (ABORT_AFTER_JOB + 1)
+        assert not status.quarantined
+
+
+class TestResume:
+    def test_resume_completes_without_reexecution_of_done_jobs(self, resumed):
+        _, _, outcome, summary, _ = resumed
+        assert outcome.complete
+        assert outcome.resumed == ABORT_AFTER_JOB + 1
+        assert outcome.executed == len(outcome.results) - (ABORT_AFTER_JOB + 1)
+        assert summary.counters["engine.resumed"] == ABORT_AFTER_JOB + 1
+        assert summary.counters["engine.jobs"] == outcome.executed
+
+    def test_checkpoint_mtimes_unchanged(self, resumed):
+        """The pre-kill checkpoints were adopted, not rewritten."""
+        campaign_dir, _, _, _, mtimes_before = resumed
+        jobs_dir = os.path.join(campaign_dir, "jobs")
+        for name, mtime in mtimes_before.items():
+            assert os.stat(os.path.join(jobs_dir, name)).st_mtime_ns == mtime
+
+    def test_resumed_meds_byte_identical_to_uninterrupted(
+        self, resumed, fault_free
+    ):
+        _, result, _, _, _ = resumed
+        resumed_rows = result.as_dict()["rows"]
+        free_rows = fault_free[0].as_dict()["rows"]
+        assert len(resumed_rows) == len(free_rows)
+        for chaos, free in zip(resumed_rows, free_rows):
+            assert json.dumps(chaos["dalta"], sort_keys=True) == json.dumps(
+                free["dalta"], sort_keys=True
+            )
+            assert json.dumps(chaos["bssa"], sort_keys=True) == json.dumps(
+                free["bssa"], sort_keys=True
+            )
+
+    def test_resumed_report_byte_identical_modulo_wall_clock(
+        self, resumed, fault_free
+    ):
+        _, result, _, _, _ = resumed
+        assert _strip_times(result).render() == _strip_times(fault_free[0]).render()
+
+    def test_campaign_now_fully_checkpointed(self, resumed):
+        campaign_dir = resumed[0]
+        status = campaign_status(campaign_dir)
+        assert len(status.done) == status.total
+        assert not status.pending and not status.quarantined

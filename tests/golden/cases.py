@@ -1,0 +1,96 @@
+"""The golden-vector case definitions shared by the test and the
+regeneration script.
+
+Each case is a seeded random multi-output function compiled onto one of
+the paper's architectures with a fixed configuration, so rebuilding a
+case is fully deterministic.  The golden files pin the exhaustive
+input/output vectors of the Python reference path
+(:meth:`ApproximationResult.evaluate`); the test then requires the
+emitted Verilog netlist to reproduce them bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro import AlgorithmConfig
+from repro.boolean.function import BooleanFunction
+from repro.core.compiler import approximate
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One seeded random function + compilation recipe."""
+
+    name: str
+    seed: int
+    n_inputs: int
+    n_outputs: int
+    architecture: str
+    algorithm: str
+
+    @property
+    def path(self) -> str:
+        return os.path.join(GOLDEN_DIR, f"golden_{self.name}.json")
+
+    def target(self) -> BooleanFunction:
+        """The seeded random truth table this case approximates."""
+        rng = np.random.default_rng(self.seed)
+        table = rng.integers(
+            0, 1 << self.n_outputs, size=1 << self.n_inputs, dtype=np.int64
+        )
+        return BooleanFunction(
+            self.n_inputs, self.n_outputs, table, name=self.name
+        )
+
+    def build(self):
+        """Compile the case; returns the ApproxLUT (result + hardware)."""
+        return approximate(
+            self.target(),
+            architecture=self.architecture,
+            algorithm=self.algorithm,
+            config=AlgorithmConfig.fast().with_seed(self.seed),
+        )
+
+    def vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Exhaustive (words, outputs) of the Python reference path."""
+        lut = self.build()
+        words = np.arange(1 << self.n_inputs, dtype=np.int64)
+        return words, lut.result.evaluate(words)
+
+    def write_golden(self) -> str:
+        words, outputs = self.vectors()
+        payload = {
+            "case": {
+                "name": self.name,
+                "seed": self.seed,
+                "n_inputs": self.n_inputs,
+                "n_outputs": self.n_outputs,
+                "architecture": self.architecture,
+                "algorithm": self.algorithm,
+            },
+            "outputs": [int(v) for v in outputs],
+        }
+        with open(self.path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        return self.path
+
+    def load_golden(self) -> dict:
+        with open(self.path) as handle:
+            return json.load(handle)
+
+
+#: three seeded random functions, one per emitted decomposed architecture
+CASES = (
+    GoldenCase("rand_dalta", 101, 6, 5, "dalta", "dalta"),
+    GoldenCase("rand_bto_normal", 202, 6, 6, "bto-normal", "bs-sa"),
+    GoldenCase("rand_bto_nd", 303, 6, 4, "bto-normal-nd", "bs-sa"),
+)

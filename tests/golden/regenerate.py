@@ -1,0 +1,30 @@
+"""Regenerate the checked-in golden vector files.
+
+Run after an *intentional* change to the approximation pipeline::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Every case is fully seeded, so regeneration is deterministic; diff the
+resulting JSON before committing — an unexpected diff means the change
+altered compiled behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from golden.cases import CASES  # noqa: E402
+
+
+def main() -> int:
+    for case in CASES:
+        path = case.write_golden()
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

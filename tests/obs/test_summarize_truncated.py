@@ -1,0 +1,99 @@
+"""``repro summarize`` on empty / truncated traces (ISSUE 3 satellite 5).
+
+A trace written by a process that crashed or was SIGKILLed mid-write
+can be empty or end in a half-written JSONL line; the CLI must degrade
+gracefully — summarise what parses, warn on stderr, exit 0 — instead
+of raising.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.obs.summarize import load_trace_tolerant, summarize
+
+
+def _valid_records():
+    return [
+        {"type": "span", "name": "bssa.run", "dur": 1.5, "depth": 0},
+        {"type": "counters", "values": {"engine.retries": 2.0}},
+        {"type": "event", "name": "run.completed"},
+    ]
+
+
+def _write_truncated(path):
+    with open(path, "w") as handle:
+        for record in _valid_records():
+            handle.write(json.dumps(record) + "\n")
+        handle.write('{"type": "span", "name": "bs')  # killed mid-write
+
+
+class TestLoadTraceTolerant:
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in _valid_records())
+        )
+        records, bad = load_trace_tolerant(str(path))
+        assert bad is None
+        assert len(records) == 3
+
+    def test_truncated_file_stops_at_bad_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_truncated(path)
+        records, bad = load_trace_tolerant(str(path))
+        assert bad == 4
+        assert len(records) == 3
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        records, bad = load_trace_tolerant(str(path))
+        assert records == [] and bad is None
+
+
+class TestSummarizeCli:
+    def test_truncated_trace_exits_zero_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        _write_truncated(path)
+        assert main(["summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated at line 4" in captured.err
+        assert "bssa.run" in captured.out
+        assert "engine.retries: 2" in captured.out
+
+    def test_empty_trace_exits_zero_with_message(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert main(["summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace is empty" in captured.out
+        assert captured.err == ""
+
+    def test_missing_file_still_exits_two(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_clean_trace_unchanged(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in _valid_records())
+        )
+        assert main(["summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "engine:" in captured.out  # engine counters section
+
+
+class TestEngineStatsSection:
+    def test_engine_stats_filter(self):
+        summary = summarize(
+            [
+                {"type": "counters", "values": {"engine.jobs": 4.0}},
+                {"type": "counters", "values": {"faults.injected": 1.0}},
+                {"type": "counters", "values": {"opt.cache_hit": 9.0}},
+            ]
+        )
+        assert summary.engine_stats() == {
+            "engine.jobs": 4.0,
+            "faults.injected": 1.0,
+        }

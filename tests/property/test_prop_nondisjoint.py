@@ -1,0 +1,115 @@
+"""Property tests for non-disjoint decomposition (paper §IV-B1, Eq. 1-2).
+
+For random single-output functions and one shared bound variable
+``x_s``, the Eq. (1) reconstruction from the two conditional disjoint
+decompositions must
+
+* restrict to exactly the two halves (the structural identity behind
+  Eq. (1)),
+* equal the exact function whenever both sub-decompositions are exact
+  (guaranteed for constant functions, checked conditionally for the
+  rest), and
+* report an error equal to an independently recomputed MED otherwise.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import Partition, ops
+from repro.core import cost_vectors_fixed, optimize_nondisjoint_shared
+from repro.metrics import distributions, med
+
+
+@st.composite
+def nd_instance(draw):
+    """Random function + partition + shared bound bit.
+
+    ``density`` 0.0 yields a constant function — the branch where both
+    conditional sub-decompositions are provably exact — so every run of
+    the suite exercises the exactness property, not only when the
+    optimiser happens to reach zero error.
+    """
+    n = draw(st.integers(4, 5))
+    density = draw(st.sampled_from([0.0, 0.15, 0.5]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    bits = (rng.random(1 << n) < density).astype(np.int64)
+    bound_size = draw(st.integers(2, n - 1))
+    variables = draw(st.permutations(list(range(n))))
+    bound = tuple(sorted(variables[:bound_size]))
+    free = tuple(v for v in variables[bound_size:])
+    shared = draw(st.sampled_from(bound))
+    return n, bits, Partition(free, bound), shared, seed
+
+
+def _solve(case, n_initial_patterns=8):
+    n, bits, partition, shared, seed = case
+    costs = cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+    p = distributions.uniform(n)
+    result = optimize_nondisjoint_shared(
+        costs,
+        p,
+        partition,
+        n,
+        shared,
+        n_initial_patterns=n_initial_patterns,
+        rng=np.random.default_rng(seed),
+    )
+    return n, bits, p, shared, result
+
+
+class TestEquation1Reconstruction:
+    @given(nd_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_restriction_equals_conditional_halves(self, case):
+        """Eq. (1): ``F(phi_j(B'), A, x_s=j)`` is exactly half ``j``."""
+        n, bits, p, shared, result = _solve(case)
+        dec = result.decomposition
+        f = dec.evaluate(n)
+        halves = [half.evaluate(n - 1) for half in dec.halves()]
+        keep = [i for i in range(n) if i != shared]
+        reduced_words = ops.all_inputs(n - 1)
+        for j in (0, 1):
+            full = ops.deposit_bits(reduced_words, keep) | (j << shared)
+            assert np.array_equal(f[full], halves[j])
+
+    @given(nd_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_halves_give_exact_reconstruction(self, case):
+        """Both cofactor decompositions exact => reconstruction exact."""
+        n, bits, p, shared, result = _solve(case)
+        dec = result.decomposition
+        f = dec.evaluate(n)
+        halves = [half.evaluate(n - 1) for half in dec.halves()]
+        keep = [i for i in range(n) if i != shared]
+        reduced_words = ops.all_inputs(n - 1)
+        exact = True
+        for j in (0, 1):
+            full = ops.deposit_bits(reduced_words, keep) | (j << shared)
+            if not np.array_equal(halves[j], bits[full]):
+                exact = False
+        if exact:
+            assert np.array_equal(f, bits)
+            assert result.error == 0.0
+
+    @given(nd_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_constant_function_is_reconstructed_exactly(self, case):
+        """Constant targets force the exactness branch: error must be 0."""
+        n, bits, partition, shared, seed = case
+        constant = np.zeros_like(bits)
+        n_, bits_, p, shared_, result = _solve(
+            (n, constant, partition, shared, seed)
+        )
+        assert result.error == 0.0
+        assert np.array_equal(result.decomposition.evaluate(n), constant)
+
+
+class TestReportedError:
+    @given(nd_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_error_equals_recomputed_med(self, case):
+        """The optimiser's error is an independently recomputed MED."""
+        n, bits, p, shared, result = _solve(case)
+        approx = result.decomposition.evaluate(n)
+        assert abs(result.error - med(bits, approx, p)) < 1e-12

@@ -156,3 +156,52 @@ class TestExperimentCommands:
         assert main(["experiment", "shared-bits", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "Shared-bits study" in out
+
+
+class TestCampaignCommands:
+    """`repro run` / `resume` / `status` — the checkpointed engine CLI."""
+
+    def test_run_status_resume_roundtrip(self, capsys, tmp_path):
+        campaign = str(tmp_path / "campaign")
+        assert main(
+            ["run", "table2", "--dir", campaign, "--scale", "smoke"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "0 quarantined" in out
+
+        assert main(["status", campaign]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "pending" in out
+
+        assert main(["resume", campaign]) == 0
+        out = capsys.readouterr().out
+        assert "8 resumed" in out and "0 executed" in out
+
+    def test_status_on_missing_campaign(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+        assert "no campaign found" in capsys.readouterr().err
+
+    def test_resume_on_missing_campaign(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nope")]) == 2
+        assert "no campaign found" in capsys.readouterr().err
+
+    def test_run_exit_3_on_quarantine(self, capsys, tmp_path, monkeypatch):
+        from repro.faults import ENV_VAR
+
+        monkeypatch.setenv(ENV_VAR, "crash@0#*")
+        campaign = str(tmp_path / "campaign")
+        assert main(
+            [
+                "run", "table2", "--dir", campaign,
+                "--scale", "smoke", "--retries", "0",
+            ]
+        ) == 3
+        captured = capsys.readouterr()
+        assert "1 quarantined" in captured.out
+        assert "worker-exit" in captured.err
+
+        # the poison job heals once the fault plan is lifted
+        monkeypatch.delenv(ENV_VAR)
+        assert main(["resume", campaign]) == 0
+        assert "0 quarantined" in capsys.readouterr().out
