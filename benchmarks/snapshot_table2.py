@@ -12,7 +12,9 @@ one process — the shape the caches amortise over) and records
   subprocesses so machine drift hits them equally),
 * a warm re-run of the identical protocol in the same process (every
   ``OptForPart`` call becomes a memo hit),
-* the cache hit/miss statistics of the fast run, and
+* the cache hit/miss statistics and per-phase wall-clock breakdown
+  (``phase_timings``: span name -> count/total seconds) of a cold
+  fast pass run under telemetry, and
 * the per-benchmark MEDs of every mode, asserted **byte-identical** —
   the performance layer must never change a single output bit.
 
@@ -39,7 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import caching
+from repro import caching, obs
 from repro.core import run_bssa
 from repro.experiments import ExperimentScale, run_table2
 from repro.workloads import get as get_workload
@@ -163,9 +165,15 @@ def main(argv=None) -> int:
         "byte_identical": True,
     }
 
-    # -- cache statistics of one cold fast protocol pass ---------------
-    _run_protocol(scale, args.base_seed)
+    # -- cache statistics + per-phase wall clock of one cold fast pass --
+    # (this pass runs under telemetry, so it is not used for the timed
+    # wall-clock numbers above)
+    memory = obs.MemorySink()
+    with obs.session(memory):
+        _run_protocol(scale, args.base_seed)
     snapshot["cache_stats"] = caching.cache_stats()
+    summary = obs.summarize.summarize(memory.records)
+    snapshot["phase_timings"] = summary.phase_timings()
 
     # -- warm re-run: one search run, caches hot -> memo replay --------
     # The result memo is sized to a single search run's working set

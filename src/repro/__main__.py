@@ -48,6 +48,7 @@ from .experiments.engine import (
     CampaignError,
     EngineConfig,
     campaign_status,
+    resolve_jobs,
     resume_campaign,
     run_experiment_campaign,
 )
@@ -135,12 +136,27 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _jobs_arg(text: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value}); omit --jobs to use all CPUs"
+        )
+    return value
+
+
 def _engine_config(args) -> EngineConfig:
     return EngineConfig(
-        n_jobs=args.jobs,
+        n_jobs=resolve_jobs(args.jobs),
         job_timeout=args.timeout,
         max_retries=args.retries,
         backoff_base=args.backoff,
+        backend=args.backend,
+        memo_dir=args.memo_dir,
     )
 
 
@@ -157,12 +173,17 @@ def _report_outcome(outcome) -> int:
 
 
 def _cmd_run(args) -> int:
+    try:
+        config = _engine_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result, outcome = run_experiment_campaign(
         args.experiment,
         args.scale,
         base_seed=args.seed or 0,
         campaign_dir=args.dir,
-        config=_engine_config(args),
+        config=config,
     )
     print(result.render())
     return _report_outcome(outcome)
@@ -171,6 +192,9 @@ def _cmd_run(args) -> int:
 def _cmd_resume(args) -> int:
     try:
         result, outcome = resume_campaign(args.dir, config=_engine_config(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except CampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -268,7 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     engine_opts = argparse.ArgumentParser(add_help=False)
     engine_opts.add_argument(
-        "--jobs", type=int, default=1, help="concurrent worker processes"
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        help=(
+            "concurrent worker processes "
+            "(default: all CPUs, clamped to the job count)"
+        ),
+    )
+    engine_opts.add_argument(
+        "--backend",
+        default="spawn",
+        choices=["spawn", "pool"],
+        help=(
+            "execution backend: spawn = one fault-isolated process per "
+            "job, pool = persistent warm workers with a shared memo "
+            "(see docs/performance.md)"
+        ),
+    )
+    engine_opts.add_argument(
+        "--memo-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the campaign's shared OptForPart memo here "
+            "(pool backend only) so repeated campaigns start warm"
+        ),
     )
     engine_opts.add_argument(
         "--timeout",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 from . import obs
 
@@ -90,20 +90,34 @@ class LruCache:
     ``<aggregate>_hit`` / ``<aggregate>_miss`` counters when an
     aggregate prefix is given (the opt-layer caches use ``opt.cache``,
     which is what ``repro summarize`` reports as ``opt.cache_hit`` /
-    ``opt.cache_miss``).
+    ``opt.cache_miss``).  Evictions increment
+    ``cache.<name>.eviction`` plus ``eviction_counter`` when one is
+    named (the result memo uses ``opt.memo_evictions``), so a memo
+    thrashing its bound is visible in ``repro summarize``.
+
+    ``journal``, when set to a list, receives every ``(key, value)``
+    pair stored through :meth:`put` — the warm-pool workers use it to
+    export exactly the entries a job computed (entries seeded through
+    :meth:`import_entries` are deliberately not journalled).
     """
 
     def __init__(
-        self, name: str, maxsize: int, aggregate: Optional[str] = None
+        self,
+        name: str,
+        maxsize: int,
+        aggregate: Optional[str] = None,
+        eviction_counter: Optional[str] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.name = name
         self.maxsize = maxsize
         self.aggregate = aggregate
+        self.eviction_counter = eviction_counter
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.journal: Optional[List] = None
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         _REGISTRY.append(self)
 
@@ -131,11 +145,49 @@ class LruCache:
     def put(self, key: Hashable, value: Any) -> None:
         if value is None:
             raise ValueError("LruCache cannot store None")
+        if self.journal is not None:
+            self.journal.append((key, value))
+        self._store(key, value)
+
+    def _store(self, key: Hashable, value: Any) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         if len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+            if obs.enabled():
+                obs.incr(f"cache.{self.name}.eviction")
+                if self.eviction_counter:
+                    obs.incr(self.eviction_counter)
+
+    def resize(self, maxsize: int) -> None:
+        """Change the bound, evicting oldest entries if it shrank."""
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def export_entries(self) -> List:
+        """Every ``(key, value)`` pair, least-recently-used first."""
+        return list(self._data.items())
+
+    def import_entries(self, pairs: Iterable) -> int:
+        """Bulk-seed entries without touching hit/miss stats or journal.
+
+        Existing keys are refreshed in place.  Returns the number of
+        entries stored.  Used to warm a worker's cache from a shared
+        memo segment or a disk snapshot — the seeded entries are not
+        journalled, so a subsequent export ships only fresh work.
+        """
+        count = 0
+        for key, value in pairs:
+            if value is None:
+                continue
+            self._store(key, value)
+            count += 1
+        return count
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss/eviction counters."""

@@ -63,6 +63,7 @@ __all__ = [
     "OptForPartResult",
     "OptMemo",
     "memo_context",
+    "result_memo",
     "opt_for_part",
     "opt_for_part_many",
     "opt_for_part_bto",
@@ -83,8 +84,29 @@ _T_ONE = int(RowType.ALL_ONE)
 _T_PATTERN = int(RowType.PATTERN)
 _T_COMPLEMENT = int(RowType.COMPLEMENT)
 
-#: process-wide result memo; entries are a few hundred bytes each
-_RESULT_MEMO = caching.LruCache("opt.memo", maxsize=4096, aggregate="opt.cache")
+#: process-wide result memo; entries are a few hundred bytes each.
+#: Evictions feed the ``opt.memo_evictions`` counter so `repro
+#: summarize` shows when the bound is thrashing (a full Table-II
+#: protocol overflows 4096 entries by design; the warm pool resizes
+#: its workers' memos to the campaign capacity).
+_RESULT_MEMO = caching.LruCache(
+    "opt.memo",
+    maxsize=4096,
+    aggregate="opt.cache",
+    eviction_counter="opt.memo_evictions",
+)
+
+
+def result_memo() -> caching.LruCache:
+    """The process-wide ``OptForPart`` result memo.
+
+    Exposed for the warm-pool execution backend, which seeds worker
+    memos from a campaign-shared segment and exports freshly computed
+    entries after each job (see ``repro.experiments.pool``).  Entries
+    are safe to share across processes: keys are content digests, so a
+    hit is provably the value a recompute would produce.
+    """
+    return _RESULT_MEMO
 
 
 @dataclass(frozen=True)

@@ -47,10 +47,12 @@ from ..core.serialize import setting_from_dict, setting_to_dict
 from ..core.settings import SettingSequence
 from . import reporting
 from .parallel import RunSpec
+from .pool import DEFAULT_MEMO_CAPACITY
 
 __all__ = [
     "EngineConfig",
     "Engine",
+    "resolve_jobs",
     "CampaignError",
     "CampaignMismatch",
     "CampaignOutcome",
@@ -129,6 +131,23 @@ def backoff_seconds(attempt: int, base: float) -> float:
     if attempt <= 0 or base <= 0:
         return 0.0
     return base * (2.0 ** (attempt - 1))
+
+
+def resolve_jobs(requested: Optional[int], job_count: Optional[int] = None) -> int:
+    """Effective worker count for a campaign.
+
+    ``requested=None`` defaults to ``os.cpu_count()``; with a known
+    ``job_count`` the result is clamped to it (never start workers
+    with nothing to do) and to at least 1.  Explicit requests below 1
+    are rejected — the CLI surfaces that as a ``--jobs`` argument
+    error before any work starts.
+    """
+    if requested is not None and requested < 1:
+        raise ValueError("jobs must be >= 1")
+    effective = requested if requested is not None else (os.cpu_count() or 1)
+    if job_count is not None:
+        effective = min(effective, max(1, job_count))
+    return max(1, effective)
 
 
 # ======================================================================
@@ -228,6 +247,14 @@ class EngineConfig:
     backoff_base: float = 0.0
     #: supervision poll interval (seconds)
     poll_interval: float = 0.02
+    #: execution backend: "spawn" = one fault-isolated process per job,
+    #: "pool" = persistent warm workers over shared memory (see
+    #: repro.experiments.pool) — outputs are byte-identical either way
+    backend: str = "spawn"
+    #: directory holding the cross-campaign memo snapshot (pool only)
+    memo_dir: Optional[str] = None
+    #: bound on campaign-shared OptForPart memo entries (pool only)
+    memo_capacity: int = DEFAULT_MEMO_CAPACITY
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -236,6 +263,14 @@ class EngineConfig:
             raise ValueError("max_retries must be >= 0")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise ValueError("job_timeout must be positive")
+        if self.backend not in ("spawn", "pool"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose spawn or pool"
+            )
+        if self.memo_dir is not None and self.backend != "pool":
+            raise ValueError("memo_dir requires the pool backend")
+        if self.memo_capacity < 1:
+            raise ValueError("memo_capacity must be >= 1")
 
 
 @dataclass
@@ -388,7 +423,12 @@ class Engine:
     ) -> None:
         telemetry = obs.current()
         config = self.config
-        with obs.span("engine.run", jobs=len(specs), n_jobs=config.n_jobs):
+        with obs.span(
+            "engine.run",
+            jobs=len(specs),
+            n_jobs=config.n_jobs,
+            backend=config.backend,
+        ):
             pending: deque = deque()
             for index, spec in enumerate(specs):
                 if telemetry is not None:
@@ -396,7 +436,10 @@ class Engine:
                 if self._try_resume(spec, jobs_dir, index, outcome):
                     continue
                 pending.append(index)
-            self._supervise(specs, jobs_dir, pending, outcome)
+            if config.backend == "pool":
+                self._supervise_pool(specs, jobs_dir, pending, outcome)
+            else:
+                self._supervise(specs, jobs_dir, pending, outcome)
 
     def _try_resume(
         self, spec: RunSpec, jobs_dir: str, index: int, outcome: CampaignOutcome
@@ -428,6 +471,125 @@ class Engine:
         )
         return True
 
+    # -- shared supervision helpers (both backends) --------------------
+    def _prepare_attempt(self, index: int, attempt: int):
+        """Backoff sleep + fault-plan lookup before (re)starting a job."""
+        delay = backoff_seconds(attempt, self.config.backoff_base)
+        if delay:
+            time.sleep(delay)
+        fault = self.faults.worker_fault(index, attempt)
+        if fault is not None:
+            obs.incr("faults.injected")
+            obs.event(
+                "faults.worker_injected",
+                job=index,
+                kind=fault.kind,
+                attempt=attempt,
+            )
+        return fault
+
+    def _fail_job(
+        self,
+        specs: List[RunSpec],
+        jobs_dir: str,
+        attempts: Dict[int, int],
+        pending: deque,
+        outcome: CampaignOutcome,
+        index: int,
+        reason: str,
+        detail: str = "",
+    ) -> None:
+        """Record a failed attempt: retry (bounded) or quarantine."""
+        attempts[index] = attempts.get(index, 0) + 1
+        path = self._job_path(jobs_dir, index)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        if attempts[index] <= self.config.max_retries:
+            outcome.retries += 1
+            obs.incr("engine.retries")
+            obs.event(
+                "engine.retry",
+                job=index,
+                label=specs[index].label,
+                attempt=attempts[index],
+                reason=reason,
+            )
+            pending.append(index)
+            return
+        failure = JobFailure(
+            index=index,
+            label=specs[index].label,
+            reason=reason,
+            attempts=attempts[index],
+            detail=detail,
+        )
+        outcome.quarantined.append(failure)
+        obs.incr("engine.quarantined")
+        obs.event(
+            "engine.quarantine", job=index, label=failure.label, reason=reason
+        )
+        if self.campaign_dir is not None:
+            atomic_write_json(self._quarantine_path(index), failure.to_dict())
+
+    def _finish_job(
+        self,
+        specs: List[RunSpec],
+        jobs_dir: str,
+        attempts: Dict[int, int],
+        pending: deque,
+        outcome: CampaignOutcome,
+        telemetry,
+        index: int,
+        attempt: int,
+    ) -> None:
+        """Validate and adopt a persisted checkpoint for a finished job.
+
+        Success is decided purely by payload validity on disk — both
+        backends persist before adopting, so a crash at any point
+        leaves a resumable campaign.
+        """
+        path = self._job_path(jobs_dir, index)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            result = result_from_payload(specs[index], payload)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            self._fail_job(
+                specs,
+                jobs_dir,
+                attempts,
+                pending,
+                outcome,
+                index,
+                "corrupt-payload",
+                detail=str(exc),
+            )
+            return
+        outcome.results[index] = result
+        outcome.executed += 1
+        obs.incr("engine.jobs")
+        if telemetry is not None and isinstance(payload.get("telemetry"), list):
+            telemetry.absorb(payload["telemetry"], worker=index)
+        obs.event(
+            "engine.job_completed",
+            job=index,
+            label=specs[index].label,
+            attempt=attempt,
+            med=result.med,
+            elapsed=result.elapsed_seconds,
+        )
+        fault = self.faults.engine_fault(index)
+        if fault is not None:
+            # Injected engine death: flush what we have, then die the
+            # hard way (SIGKILL) exactly as a crashed orchestrator
+            # would — the resume path must make this invisible.
+            obs.incr("faults.injected")
+            if telemetry is not None:
+                telemetry.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+
     def _supervise(
         self,
         specs: List[RunSpec],
@@ -435,7 +597,7 @@ class Engine:
         pending: deque,
         outcome: CampaignOutcome,
     ) -> None:
-        """Bounded-concurrency supervision loop with timeout and retry."""
+        """Per-job-spawn supervision loop with timeout and retry."""
         config = self.config
         context = multiprocessing.get_context(
             "fork"
@@ -448,18 +610,7 @@ class Engine:
 
         def start(index: int) -> None:
             attempt = attempts.get(index, 0)
-            delay = backoff_seconds(attempt, config.backoff_base)
-            if delay:
-                time.sleep(delay)
-            fault = self.faults.worker_fault(index, attempt)
-            if fault is not None:
-                obs.incr("faults.injected")
-                obs.event(
-                    "faults.worker_injected",
-                    job=index,
-                    kind=fault.kind,
-                    attempt=attempt,
-                )
+            fault = self._prepare_attempt(index, attempt)
             path = self._job_path(jobs_dir, index)
             process = context.Process(
                 target=_job_worker,
@@ -474,70 +625,9 @@ class Engine:
             running[index] = _Running(process, deadline, attempt)
 
         def fail(index: int, reason: str, detail: str = "") -> None:
-            attempts[index] = attempts.get(index, 0) + 1
-            path = self._job_path(jobs_dir, index)
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            if attempts[index] <= config.max_retries:
-                outcome.retries += 1
-                obs.incr("engine.retries")
-                obs.event(
-                    "engine.retry",
-                    job=index,
-                    label=specs[index].label,
-                    attempt=attempts[index],
-                    reason=reason,
-                )
-                pending.append(index)
-                return
-            failure = JobFailure(
-                index=index,
-                label=specs[index].label,
-                reason=reason,
-                attempts=attempts[index],
-                detail=detail,
+            self._fail_job(
+                specs, jobs_dir, attempts, pending, outcome, index, reason, detail
             )
-            outcome.quarantined.append(failure)
-            obs.incr("engine.quarantined")
-            obs.event(
-                "engine.quarantine", job=index, label=failure.label, reason=reason
-            )
-            if self.campaign_dir is not None:
-                atomic_write_json(self._quarantine_path(index), failure.to_dict())
-
-        def finish(index: int, slot: _Running) -> None:
-            path = self._job_path(jobs_dir, index)
-            try:
-                with open(path) as handle:
-                    payload = json.load(handle)
-                result = result_from_payload(specs[index], payload)
-            except (ValueError, KeyError, TypeError, OSError) as exc:
-                fail(index, "corrupt-payload", detail=str(exc))
-                return
-            outcome.results[index] = result
-            outcome.executed += 1
-            obs.incr("engine.jobs")
-            if telemetry is not None and isinstance(payload.get("telemetry"), list):
-                telemetry.absorb(payload["telemetry"], worker=index)
-            obs.event(
-                "engine.job_completed",
-                job=index,
-                label=specs[index].label,
-                attempt=slot.attempt,
-                med=result.med,
-                elapsed=result.elapsed_seconds,
-            )
-            fault = self.faults.engine_fault(index)
-            if fault is not None:
-                # Injected engine death: flush what we have, then die the
-                # hard way (SIGKILL) exactly as a crashed orchestrator
-                # would — the resume path must make this invisible.
-                obs.incr("faults.injected")
-                if telemetry is not None:
-                    telemetry.flush()
-                os.kill(os.getpid(), signal.SIGKILL)
 
         while pending or running:
             while pending and len(running) < config.n_jobs:
@@ -570,11 +660,106 @@ class Engine:
                 del running[index]
                 progressed = True
                 if exitcode == 0:
-                    finish(index, slot)
+                    self._finish_job(
+                        specs,
+                        jobs_dir,
+                        attempts,
+                        pending,
+                        outcome,
+                        telemetry,
+                        index,
+                        slot.attempt,
+                    )
                 else:
                     fail(index, f"worker-exit:{exitcode}")
             if not progressed and running:
                 time.sleep(config.poll_interval)
+
+    def _supervise_pool(
+        self,
+        specs: List[RunSpec],
+        jobs_dir: str,
+        pending: deque,
+        outcome: CampaignOutcome,
+    ) -> None:
+        """Warm-pool supervision: same retry/timeout/quarantine semantics.
+
+        Workers ship payloads over their result pipe; the parent writes
+        each checkpoint atomically and then adopts it through the same
+        read-back path as the spawn backend, so checkpoint contents and
+        campaign results are byte-identical across backends.  A timed
+        out or crashed worker is killed and replaced (the pool restarts
+        it); its job is retried like any other failure.
+        """
+        from .pool import WorkerPool
+
+        config = self.config
+        telemetry = obs.current()
+        attempts: Dict[int, int] = {}
+        running: Dict[int, Optional[float]] = {}  # index -> deadline
+
+        def fail(index: int, reason: str, detail: str = "") -> None:
+            self._fail_job(
+                specs, jobs_dir, attempts, pending, outcome, index, reason, detail
+            )
+
+        pool = WorkerPool(
+            min(config.n_jobs, max(1, len(pending))),
+            memo_capacity=config.memo_capacity,
+            memo_dir=config.memo_dir,
+            capture_telemetry=telemetry is not None,
+        )
+        try:
+            while pending or running:
+                while pending and pool.has_idle():
+                    index = pending.popleft()
+                    attempt = attempts.get(index, 0)
+                    fault = self._prepare_attempt(index, attempt)
+                    pool.submit(index, specs[index], attempt, fault)
+                    running[index] = (
+                        time.monotonic() + config.job_timeout
+                        if config.job_timeout is not None
+                        else None
+                    )
+                for event in pool.wait(config.poll_interval):
+                    running.pop(event.index, None)
+                    if event.kind == "ok":
+                        path = self._job_path(jobs_dir, event.index)
+                        if event.raw is not None:
+                            # injected corruption: persist the same
+                            # garbage the spawn worker writes
+                            with open(path, "w") as handle:
+                                handle.write(event.raw)
+                        else:
+                            atomic_write_json(path, event.payload)
+                        self._finish_job(
+                            specs,
+                            jobs_dir,
+                            attempts,
+                            pending,
+                            outcome,
+                            telemetry,
+                            event.index,
+                            event.attempt,
+                        )
+                    elif event.kind == "error":
+                        fail(event.index, "worker-error", event.detail)
+                    else:
+                        fail(event.index, f"worker-exit:{event.exitcode}")
+                now = time.monotonic()
+                for index, deadline in list(running.items()):
+                    if deadline is not None and now > deadline:
+                        pool.kill_job(index)
+                        del running[index]
+                        outcome.timeouts += 1
+                        obs.incr("engine.timeouts")
+                        fail(
+                            index,
+                            "timeout",
+                            detail=f"exceeded {config.job_timeout}s",
+                        )
+        finally:
+            pool.close()
 
 
 # ======================================================================

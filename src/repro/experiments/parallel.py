@@ -178,13 +178,18 @@ class RunSpec:
             return np.random.default_rng(self.direct_seed)
         return np.random.default_rng(self.seed_sequence())
 
-    def execute(self) -> ApproximationResult:
+    def execute(self, fresh_caches: bool = True) -> ApproximationResult:
         # Fresh caches per run: results are cache-independent by
         # construction, but the cache hit/miss counters are not — a
         # warm memo would make worker telemetry depend on which runs
         # shared a process, breaking serial-vs-parallel counter
-        # equality (see tests/obs/test_integration.py).
-        caching.clear_caches()
+        # equality (see tests/obs/test_integration.py).  The warm-pool
+        # workers pass ``fresh_caches=False``: the campaign-shared
+        # OptForPart memo must survive across jobs, and memo hits are
+        # bit-exact by construction (content-digest keys), so only the
+        # counters — never the results — depend on warmth.
+        if fresh_caches:
+            caching.clear_caches()
         # Re-seed the legacy global NumPy state from the same spawned
         # sequence: the algorithms only use the explicit generator, but
         # this pins down any incidental np.random.* use in workloads.
@@ -235,17 +240,28 @@ def _notify_completed(spec: RunSpec, result: ApproximationResult, **attrs) -> No
     )
 
 
-def run_many(specs: Sequence[RunSpec], n_jobs: int = 1) -> List[ApproximationResult]:
+def run_many(
+    specs: Sequence[RunSpec],
+    n_jobs: int = 1,
+    backend: str = "spawn",
+) -> List[ApproximationResult]:
     """Execute run specs, serially or across worker processes.
 
     Results come back in spec order regardless of completion order, so
-    downstream statistics are independent of ``n_jobs``.  Under an
-    active telemetry session, worker telemetry is aggregated into the
-    parent session as each future completes and a ``run.completed``
-    event (one progress line on the stderr sink) fires per run.
+    downstream statistics are independent of ``n_jobs`` (and of
+    ``backend``).  ``backend`` selects the multi-process transport:
+    ``"spawn"`` is the fault-isolated per-job path (a process pool of
+    pickled jobs), ``"pool"`` the warm-pool path of
+    :mod:`repro.experiments.pool` — persistent workers, shared-memory
+    tables, and a campaign-shared OptForPart memo.  Under an active
+    telemetry session, worker telemetry is aggregated into the parent
+    session and a ``run.completed`` event (one progress line on the
+    stderr sink) fires per run.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    if backend not in ("spawn", "pool"):
+        raise ValueError(f"unknown backend {backend!r}; choose spawn or pool")
     telemetry = obs.current()
     if telemetry is not None:
         for spec in specs:
@@ -258,6 +274,8 @@ def run_many(specs: Sequence[RunSpec], n_jobs: int = 1) -> List[ApproximationRes
                 _notify_completed(spec, result)
             results.append(result)
         return results
+    if backend == "pool":
+        return _run_many_pool(specs, n_jobs, telemetry)
 
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         if telemetry is None:
@@ -279,3 +297,40 @@ def run_many(specs: Sequence[RunSpec], n_jobs: int = 1) -> List[ApproximationRes
                 results[index] = result
                 _notify_completed(specs[index], result, worker=index)
         return results  # type: ignore[return-value]
+
+
+def _run_many_pool(
+    specs: Sequence[RunSpec],
+    n_jobs: int,
+    telemetry,
+) -> List[ApproximationResult]:
+    """``run_many`` over the warm-pool backend.
+
+    Workers ship checkpoint payloads rather than pickled results; the
+    payloads are JSON round-tripped before reconstruction so the values
+    are byte-identical to what the engine's checkpoint files would
+    yield (``result_to_payload`` is proven lossless by the engine
+    tests).
+    """
+    from .engine import result_from_payload
+    from .pool import WorkerPool
+
+    pool = WorkerPool(
+        min(n_jobs, len(specs)),
+        capture_telemetry=telemetry is not None,
+    )
+    try:
+        payloads = pool.run(specs)
+    finally:
+        pool.close()
+    results: List[ApproximationResult] = []
+    for index, (spec, payload) in enumerate(zip(specs, payloads)):
+        payload = json.loads(json.dumps(payload, sort_keys=True, default=str))
+        records = payload.pop("telemetry", None)
+        result = result_from_payload(spec, payload)
+        if telemetry is not None:
+            if isinstance(records, list):
+                telemetry.absorb(records, worker=index)
+            _notify_completed(spec, result, worker=index)
+        results.append(result)
+    return results

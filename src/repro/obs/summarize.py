@@ -86,12 +86,33 @@ class TraceSummary:
             total = hits + misses
             if total <= 0:
                 continue
+            evictions = float(self.counters.get(f"{stem}{sep}eviction", 0))
+            if not evictions and stem == "opt.cache":
+                # the OptForPart result memo names its eviction counter
+                # explicitly (see repro.core.opt_for_part)
+                evictions = float(self.counters.get("opt.memo_evictions", 0))
             rates[stem] = {
                 "hits": hits,
                 "misses": misses,
                 "hit_rate": hits / total,
+                "evictions": evictions,
             }
         return rates
+
+    def pool_stats(self) -> Dict[str, float]:
+        """The warm-pool backend counters (``pool.*``).
+
+        Workers started/restarted, shared-memory bytes and table
+        segments, and the shared-memo traffic
+        (``pool.memo_published`` / ``imported`` / ``dropped`` plus the
+        disk-snapshot entry counts) — empty when the trace never used
+        the pool backend.
+        """
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if name.startswith("pool.")
+        }
 
     def engine_stats(self) -> Dict[str, float]:
         """The checkpointed-engine and fault-injection counters.
@@ -136,15 +157,24 @@ class TraceSummary:
             lines.append("engine:")
             for name in sorted(engine):
                 lines.append(f"  {name}: {engine[name]:g}")
+        pool = self.pool_stats()
+        if pool:
+            lines.append("pool:")
+            for name in sorted(pool):
+                lines.append(f"  {name}: {pool[name]:g}")
         rates = self.cache_rates()
         if rates:
             lines.append("cache hit rates:")
             for stem in sorted(rates):
                 info = rates[stem]
-                lines.append(
+                line = (
                     f"  {stem}: {info['hit_rate']:.1%} "
-                    f"({info['hits']:g} hits / {info['misses']:g} misses)"
+                    f"({info['hits']:g} hits / {info['misses']:g} misses"
                 )
+                if info.get("evictions"):
+                    line += f" / {info['evictions']:g} evictions"
+                lines.append(line + ")")
+
         if self.events:
             lines.append(
                 "events: "

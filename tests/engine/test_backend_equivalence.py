@@ -1,0 +1,119 @@
+"""Differential equivalence of the campaign execution backends.
+
+One smoke-scale Table-II campaign is executed four ways — (a) serial
+(no engine), (b) per-job spawn engine, (c) warm pool, (d) warm pool
+with a pre-populated disk memo — and must produce byte-identical MEDs
+(every statistic except wall-clock timings) and identical run
+manifests modulo timings and cache-warmth counters.  This is the
+acceptance test of the warm-pool backend: persistent workers, the
+shared-memory table transport, and the campaign-shared OptForPart memo
+may change *when* things are computed, never *what*.
+"""
+
+import json
+
+from repro import obs
+from repro.experiments.engine import EngineConfig, run_experiment_campaign
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.table2 import run_table2
+
+_BASE_SEED = 3
+
+
+def _strip_times(result_dict):
+    """Table-II payload with every wall-clock-derived field zeroed."""
+    payload = json.loads(json.dumps(result_dict, sort_keys=True))
+    for row in payload["rows"]:
+        row["dalta_time"] = 0.0
+        row["bssa_time"] = 0.0
+    for key in list(payload["geomeans"]):
+        if key.endswith("_time"):
+            payload["geomeans"][key] = 0.0
+    payload["improvement"].pop("time", None)
+    return payload
+
+
+def _campaign(tmp_path, name, config):
+    sink = obs.MemorySink()
+    with obs.session(sink):
+        result, outcome = run_experiment_campaign(
+            "table2",
+            "smoke",
+            base_seed=_BASE_SEED,
+            campaign_dir=str(tmp_path / name),
+            config=config,
+        )
+    assert outcome.complete, f"{name} campaign incomplete"
+    return result, sink
+
+
+def _manifest(sink):
+    """A run manifest modulo timings and cache-warmth counters.
+
+    Phase timings and ``cache.*`` / ``opt.*`` / ``pool.*`` counters
+    legitimately differ with backend and memo warmth (a memo hit skips
+    the counted inner work); everything identity-bearing — command,
+    config hash, base seed, every spawned seed record, and the engine
+    job accounting — must match exactly.
+    """
+    summary = obs.summarize.summarize(sink.records)
+    counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("engine.")
+    }
+    manifest = obs.RunManifest.build(
+        command="repro run table2",
+        config={
+            "experiment": "table2",
+            "scale": "smoke",
+            "base_seed": _BASE_SEED,
+        },
+        base_seed=_BASE_SEED,
+        counters=counters,
+    )
+    for record in sink.events("run.seeded"):
+        manifest.add_seed(record.get("attrs", {}))
+    payload = manifest.to_dict()
+    payload.pop("created")
+    payload.pop("phase_timings")
+    return payload
+
+
+class TestBackendEquivalence:
+    def test_serial_spawn_pool_and_warm_memo_are_byte_identical(
+        self, tmp_path
+    ):
+        serial = run_table2(ExperimentScale.smoke(), base_seed=_BASE_SEED)
+
+        spawn_result, spawn_sink = _campaign(
+            tmp_path, "spawn", EngineConfig(n_jobs=2)
+        )
+        pool_result, pool_sink = _campaign(
+            tmp_path, "pool", EngineConfig(n_jobs=2, backend="pool")
+        )
+        warm_config = EngineConfig(
+            n_jobs=2, backend="pool", memo_dir=str(tmp_path / "memo")
+        )
+        # first pool campaign with --memo-dir populates the snapshot ...
+        _campaign(tmp_path, "memo-seed", warm_config)
+        # ... the one under test starts from the warm disk memo
+        warm_result, warm_sink = _campaign(tmp_path, "warm", warm_config)
+
+        blobs = [
+            json.dumps(_strip_times(result.as_dict()), sort_keys=True)
+            for result in (serial, spawn_result, pool_result, warm_result)
+        ]
+        assert blobs[0] == blobs[1], "spawn engine diverged from serial"
+        assert blobs[1] == blobs[2], "warm pool diverged from spawn"
+        assert blobs[2] == blobs[3], "pre-populated memo changed results"
+
+        manifests = [
+            _manifest(sink) for sink in (spawn_sink, pool_sink, warm_sink)
+        ]
+        assert manifests[0] == manifests[1], (
+            "spawn vs pool manifests differ beyond timings"
+        )
+        assert manifests[1] == manifests[2], (
+            "cold vs warm pool manifests differ beyond timings"
+        )

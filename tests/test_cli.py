@@ -23,6 +23,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compile", "fft"])
 
+    def test_jobs_defaults_to_none_for_cpu_count(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--dir", "/tmp/c"]
+        )
+        assert args.jobs is None
+        assert args.backend == "spawn"
+        assert args.memo_dir is None
+
+    def test_jobs_zero_rejected_with_clear_error(self, capsys):
+        for argv in (
+            ["run", "table2", "--dir", "/tmp/c", "--jobs", "0"],
+            ["resume", "/tmp/c", "--jobs", "-2"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+            assert "must be >= 1" in capsys.readouterr().err
+
+    def test_backend_flag_threads_through_run_and_resume(self):
+        run_args = build_parser().parse_args(
+            [
+                "run", "table2", "--dir", "/tmp/c",
+                "--backend", "pool", "--memo-dir", "/tmp/memo", "--jobs", "4",
+            ]
+        )
+        resume_args = build_parser().parse_args(
+            ["resume", "/tmp/c", "--backend", "pool", "--jobs", "4"]
+        )
+        assert run_args.backend == resume_args.backend == "pool"
+        assert run_args.jobs == resume_args.jobs == 4
+        assert run_args.memo_dir == "/tmp/memo"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "table2", "--dir", "/tmp/c", "--backend", "threads"]
+            )
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -177,6 +212,13 @@ class TestCampaignCommands:
         assert main(["resume", campaign]) == 0
         out = capsys.readouterr().out
         assert "8 resumed" in out and "0 executed" in out
+
+    def test_memo_dir_without_pool_is_clean_error(self, capsys, tmp_path):
+        campaign = str(tmp_path / "campaign")
+        assert main(
+            ["run", "table2", "--dir", campaign, "--memo-dir", str(tmp_path)]
+        ) == 2
+        assert "memo_dir requires the pool backend" in capsys.readouterr().err
 
     def test_status_on_missing_campaign(self, capsys, tmp_path):
         assert main(["status", str(tmp_path / "nope")]) == 2
