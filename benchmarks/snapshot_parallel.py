@@ -47,6 +47,8 @@ from repro.experiments.engine import (
 )
 from repro.experiments.pool import DEFAULT_MEMO_CAPACITY, load_memo_snapshot
 
+from benchmarks import snapshot_provenance
+
 
 def _meds(result) -> list:
     """Every MED statistic of a protocol result, in row order."""
@@ -131,6 +133,7 @@ def main(argv=None) -> int:
 
     snapshot = {
         "protocol": "table2",
+        "provenance": snapshot_provenance(),
         "scale": scale.name,
         "n_inputs": scale.n_inputs,
         "n_runs": scale.n_runs,

@@ -46,6 +46,8 @@ from repro.core import run_bssa
 from repro.experiments import ExperimentScale, run_table2
 from repro.workloads import get as get_workload
 
+from benchmarks import snapshot_provenance
+
 #: child program for subprocess timings — argv: scale, benchmarks, seed
 _CHILD = """\
 import json, sys, time
@@ -133,6 +135,7 @@ def main(argv=None) -> int:
 
     snapshot = {
         "protocol": "table2",
+        "provenance": snapshot_provenance(),
         "scale": scale.name,
         "n_inputs": scale.n_inputs,
         "n_runs": scale.n_runs,

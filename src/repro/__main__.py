@@ -20,7 +20,10 @@ Commands
 ``info``
     Describe a saved configuration file.
 ``summarize``
-    Per-phase breakdown of a telemetry trace file.
+    Per-phase breakdown of a telemetry trace file, or the provenance
+    and headline numbers of a ``BENCH_*.json`` snapshot.
+``top``
+    Live terminal view of a running ``--metrics-port`` campaign.
 
 Every command accepts ``--trace out.jsonl`` (record a JSONL telemetry
 trace plus a run manifest) and ``--verbose`` (stderr progress lines);
@@ -157,6 +160,7 @@ def _engine_config(args) -> EngineConfig:
         backoff_base=args.backoff,
         backend=args.backend,
         memo_dir=args.memo_dir,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -211,7 +215,69 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _render_bench_snapshot(path: str, payload: dict) -> str:
+    """Human summary of a ``benchmarks/snapshot_*.py`` JSON file."""
+    lines = [f"benchmark snapshot: {path}"]
+    provenance = payload.get("provenance") or {}
+    if provenance:
+        git_rev = provenance.get("git_rev") or "unknown"
+        lines.append(
+            "provenance: git={git} created={created} cpus={cpus} "
+            "python={python}".format(
+                git=str(git_rev)[:12],
+                created=provenance.get("created_iso", "?"),
+                cpus=provenance.get("cpu_count", "?"),
+                python=provenance.get("python", "?"),
+            )
+        )
+    else:
+        lines.append("provenance: (not stamped — regenerate the snapshot)")
+    scope = [
+        f"{key}={payload[key]}"
+        for key in ("scale", "n_inputs", "n_runs", "base_seed", "repeats", "jobs")
+        if key in payload
+    ]
+    if payload.get("benchmarks"):
+        scope.append("benchmarks=" + ",".join(payload["benchmarks"]))
+    if scope:
+        lines.append("scope: " + " ".join(scope))
+    if "fast" in payload and "reference" in payload:
+        lines.append(
+            f"table2 wall-clock: fast {payload['fast'].get('min', 0):.2f}s, "
+            f"reference {payload['reference'].get('min', 0):.2f}s"
+        )
+    warm = payload.get("warm_rerun")
+    if warm:
+        lines.append(f"warm rerun speedup: {warm.get('speedup', 0):.2f}x")
+    speedup = payload.get("speedup")
+    if isinstance(speedup, dict):
+        for name in sorted(speedup):
+            lines.append(f"speedup {name}: {speedup[name]:.2f}x")
+    meds = payload.get("meds")
+    if isinstance(meds, list):
+        lines.append(f"MED rows: {len(meds)} (byte-compared by check_regression)")
+    return "\n".join(lines)
+
+
 def _cmd_summarize(args) -> int:
+    import json
+
+    # A bench snapshot (BENCH_*.json) is one whole-file JSON object;
+    # a telemetry trace is JSONL.  Dispatch on what the file actually
+    # parses as.
+    try:
+        with open(args.path) as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.path}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "protocol" in payload:
+        print(_render_bench_snapshot(args.path, payload))
+        return 0
     try:
         records, bad_lineno = obs.summarize.load_trace_tolerant(args.path)
     except FileNotFoundError:
@@ -225,6 +291,41 @@ def _cmd_summarize(args) -> int:
         )
     print(obs.summarize.summarize(records).render())
     return 0
+
+
+def _cmd_top(args) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    address = args.address
+    if "://" not in address:
+        address = "http://" + address
+    base = address.rstrip("/")
+    first = True
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/state", timeout=5) as response:
+                state = json.load(response)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            if first:
+                print(f"error: cannot reach {base}/state: {exc}", file=sys.stderr)
+                return 2
+            # The campaign stops its server when it finishes; a later
+            # refresh failing is the normal end of a `top` session.
+            print(f"[repro top] endpoint gone ({exc}); campaign over?")
+            return 0
+        frame = obs.exposition.render_top(state)
+        if not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        elif not first:
+            print("---")
+        print(frame, end="")
+        if args.once:
+            return 0
+        first = False
+        time.sleep(args.interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -337,6 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="base of the deterministic exponential retry backoff (s)",
     )
+    engine_opts.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live Prometheus /metrics + /healthz on this port "
+            "while the campaign runs (0 = pick a free port; watch it "
+            "with `repro top`)"
+        ),
+    )
 
     run_parser = sub.add_parser(
         "run",
@@ -372,10 +484,26 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser.set_defaults(func=_cmd_info)
 
     summarize_parser = sub.add_parser(
-        "summarize", help="per-phase breakdown of a trace file"
+        "summarize",
+        help="per-phase breakdown of a trace file (or a BENCH snapshot)",
     )
     summarize_parser.add_argument("path")
     summarize_parser.set_defaults(func=_cmd_summarize)
+
+    top_parser = sub.add_parser(
+        "top", help="live terminal view of a --metrics-port campaign"
+    )
+    top_parser.add_argument(
+        "address",
+        help="host:port (or URL) printed by the campaign's --metrics-port",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (s)"
+    )
+    top_parser.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top_parser.set_defaults(func=_cmd_top)
     return parser
 
 

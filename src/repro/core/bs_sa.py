@@ -337,6 +337,10 @@ def find_best_settings(
 
                 if best_nb is not None:
                     if best_nb_error <= chain["error"]:
+                        # positive delta = improvement (error decrease)
+                        obs.observe(
+                            "sa.accepted_delta", chain["error"] - best_nb_error
+                        )
                         chain["current"], chain["error"] = best_nb, best_nb_error
                         obs.incr("sa.moves_accepted")
                     else:
@@ -348,6 +352,11 @@ def find_best_settings(
                         else:
                             accept = 0.0
                         if rng.random() < accept:
+                            # negative delta = accepted uphill move
+                            obs.observe(
+                                "sa.accepted_delta",
+                                chain["error"] - best_nb_error,
+                            )
                             chain["current"], chain["error"] = (
                                 best_nb,
                                 best_nb_error,

@@ -44,6 +44,7 @@ wall clock of the search loops:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -511,9 +512,11 @@ def opt_for_part(
     with obs.span(
         "opt.for_part", n_bound=partition.n_bound, n_free=partition.n_free
     ) as span:
+        start = time.perf_counter()
         result, sweeps, hit = _opt_single(
             costs, p, partition, n_inputs, patterns, max_sweeps, memo
         )
+        obs.observe("opt.for_part_seconds", time.perf_counter() - start)
         span.set(sweeps=sweeps, error=result.error)
         obs.incr("opt.calls")
         if not hit:
@@ -615,9 +618,11 @@ def opt_for_part_many(
         n_bound=partitions[0].n_bound,
         n_free=partitions[0].n_free,
     ) as span:
+        start = time.perf_counter()
         results, total_sweeps, hits = _opt_many(
             costs, p, partitions, n_inputs, initial_patterns, max_sweeps, memo
         )
+        obs.observe("opt.for_part_seconds", time.perf_counter() - start)
         span.set(sweeps=total_sweeps, memo_hits=hits)
         obs.incr("opt.calls", len(partitions))
         obs.incr("opt.sweeps", total_sweeps)

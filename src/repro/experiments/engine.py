@@ -29,11 +29,13 @@ with telemetry off the engine path's outputs are byte-identical to
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import multiprocessing
 import os
 import signal
+import sys
 import tempfile
 import time
 from collections import deque
@@ -255,6 +257,10 @@ class EngineConfig:
     memo_dir: Optional[str] = None
     #: bound on campaign-shared OptForPart memo entries (pool only)
     memo_capacity: int = DEFAULT_MEMO_CAPACITY
+    #: serve live /metrics + /healthz on this port while the campaign
+    #: runs (0 = ephemeral port; None = no server).  Read-only: the
+    #: endpoint never changes campaign results.
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -271,6 +277,10 @@ class EngineConfig:
             raise ValueError("memo_dir requires the pool backend")
         if self.memo_capacity < 1:
             raise ValueError("memo_capacity must be >= 1")
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ValueError("metrics_port must be in [0, 65535]")
 
 
 @dataclass
@@ -352,6 +362,10 @@ class Engine:
         self.invocation: Optional[Dict[str, Any]] = None
         #: outcome of the most recent :meth:`run`
         self.last_outcome: Optional[CampaignOutcome] = None
+        #: live metrics hub while a --metrics-port run is in flight
+        self._hub = None
+        #: (host, port) of the running metrics server, if any
+        self.metrics_address: Optional[Tuple[str, int]] = None
 
     # -- campaign layout ----------------------------------------------
     def _job_path(self, jobs_dir: str, index: int) -> str:
@@ -408,15 +422,75 @@ class Engine:
         if not specs:
             self.last_outcome = outcome
             return outcome
-        if self.campaign_dir is not None:
-            self._init_campaign(specs)
-            jobs_dir = os.path.join(self.campaign_dir, _JOBS_DIR)
-            self._execute(specs, jobs_dir, outcome)
-        else:
-            with tempfile.TemporaryDirectory(prefix="repro-engine-") as jobs_dir:
-                self._execute(specs, jobs_dir, outcome)
+        try:
+            with contextlib.ExitStack() as stack:
+                self._start_metrics(stack, len(specs))
+                if self.campaign_dir is not None:
+                    self._init_campaign(specs)
+                    jobs_dir = os.path.join(self.campaign_dir, _JOBS_DIR)
+                    self._execute(specs, jobs_dir, outcome)
+                else:
+                    with tempfile.TemporaryDirectory(
+                        prefix="repro-engine-"
+                    ) as jobs_dir:
+                        self._execute(specs, jobs_dir, outcome)
+        finally:
+            self._hub = None
         self.last_outcome = outcome
         return outcome
+
+    def _start_metrics(self, stack: contextlib.ExitStack, total: int) -> None:
+        """Serve a live /metrics + /healthz view while the campaign runs.
+
+        Only active with ``config.metrics_port``.  The endpoint is
+        strictly read-only; the one observable side effect is that a
+        telemetry session (with a :class:`~repro.obs.NullSink`) is
+        opened when none is active, so live counters exist to serve —
+        results stay byte-identical either way (the telemetry on/off
+        differential tests prove it).
+        """
+        port = self.config.metrics_port
+        if port is None:
+            return
+        from ..obs import exposition
+
+        if obs.current() is None:
+            stack.enter_context(obs.session(obs.NullSink()))
+        hub = exposition.MetricsHub(telemetry=obs.current())
+        invocation = self.invocation or {}
+        hub.campaign_update(
+            state="running",
+            total=total,
+            backend=self.config.backend,
+            experiment=invocation.get("experiment"),
+            scale=invocation.get("scale"),
+        )
+        server = exposition.MetricsServer(hub, port=port)
+        server.start()
+        self.metrics_address = (server.host, server.port)
+        print(f"[repro] live metrics: {server.url}/metrics", file=sys.stderr)
+        stack.callback(server.stop)
+        stack.callback(lambda: hub.campaign_update(state="done", running=0))
+        stack.enter_context(exposition.activated(hub))
+        self._hub = hub
+
+    def _sync_hub(
+        self, outcome: CampaignOutcome, running: Optional[int] = None
+    ) -> None:
+        """Publish campaign progress to the live hub, if one is active."""
+        hub = self._hub
+        if hub is None:
+            return
+        fields: Dict[str, Any] = {
+            "done": outcome.resumed + outcome.executed,
+            "resumed": outcome.resumed,
+            "retried": outcome.retries,
+            "timeouts": outcome.timeouts,
+            "quarantined": len(outcome.quarantined),
+        }
+        if running is not None:
+            fields["running"] = running
+        hub.campaign_update(**fields)
 
     def _execute(
         self, specs: List[RunSpec], jobs_dir: str, outcome: CampaignOutcome
@@ -466,9 +540,11 @@ class Engine:
         outcome.results[index] = result
         outcome.resumed += 1
         obs.incr("engine.resumed")
+        obs.observe("run.med", result.med)
         obs.event(
             "engine.job_resumed", job=index, label=spec.label, med=result.med
         )
+        self._sync_hub(outcome)
         return True
 
     # -- shared supervision helpers (both backends) --------------------
@@ -517,6 +593,7 @@ class Engine:
                 reason=reason,
             )
             pending.append(index)
+            self._sync_hub(outcome)
             return
         failure = JobFailure(
             index=index,
@@ -532,6 +609,7 @@ class Engine:
         )
         if self.campaign_dir is not None:
             atomic_write_json(self._quarantine_path(index), failure.to_dict())
+        self._sync_hub(outcome)
 
     def _finish_job(
         self,
@@ -570,8 +648,11 @@ class Engine:
         outcome.results[index] = result
         outcome.executed += 1
         obs.incr("engine.jobs")
+        obs.observe("engine.job_seconds", result.elapsed_seconds)
+        obs.observe("run.med", result.med)
         if telemetry is not None and isinstance(payload.get("telemetry"), list):
             telemetry.absorb(payload["telemetry"], worker=index)
+        self._sync_hub(outcome)
         obs.event(
             "engine.job_completed",
             job=index,
@@ -632,6 +713,7 @@ class Engine:
         while pending or running:
             while pending and len(running) < config.n_jobs:
                 start(pending.popleft())
+            self._sync_hub(outcome, running=len(running))
             progressed = False
             for index in list(running):
                 slot = running[index]
@@ -708,6 +790,9 @@ class Engine:
             memo_capacity=config.memo_capacity,
             memo_dir=config.memo_dir,
             capture_telemetry=telemetry is not None,
+            # stream mid-job counter/histogram snapshots only when a
+            # live metrics hub is consuming them
+            metrics_interval=0.2 if self._hub is not None else None,
         )
         try:
             while pending or running:
@@ -721,6 +806,7 @@ class Engine:
                         if config.job_timeout is not None
                         else None
                     )
+                self._sync_hub(outcome, running=len(running))
                 for event in pool.wait(config.poll_interval):
                     running.pop(event.index, None)
                     if event.kind == "ok":

@@ -230,6 +230,9 @@ def seeds_for(n_runs: int, base_seed: Optional[int]) -> List[int]:
 
 
 def _notify_completed(spec: RunSpec, result: ApproximationResult, **attrs) -> None:
+    med = getattr(result, "med", None)
+    if med is not None:
+        obs.observe("run.med", med)
     obs.event(
         "run.completed",
         benchmark=spec.name,

@@ -51,6 +51,7 @@ import os
 import pickle
 import struct
 import tempfile
+import threading
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
@@ -63,6 +64,7 @@ import numpy as np
 
 from .. import faults as faults_mod
 from .. import obs
+from ..obs import exposition
 from ..core.config import AlgorithmConfig
 from ..core.opt_for_part import result_memo
 from .parallel import RunSpec
@@ -375,13 +377,63 @@ def _spec_from_message(fields: Dict[str, Any], table: np.ndarray) -> RunSpec:
     )
 
 
-def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
+def _stream_telemetry(
+    results, send_lock, current_job, stop, interval: float
+) -> None:
+    """Daemon thread: ship cumulative telemetry snapshots mid-job.
+
+    Each message carries the *whole* current-job session so arrival
+    order does not matter; the parent keeps only the latest snapshot
+    per worker and drops it the moment the job's authoritative
+    end-of-job records are absorbed (no double counting).  A torn
+    snapshot (the main thread mutating a dict mid-copy) is simply
+    skipped — the next tick replaces it.
+    """
+    while not stop.wait(interval):
+        job = current_job["job"]
+        session = obs.current()
+        if job is None or session is None:
+            continue
+        try:
+            counters = dict(session.counters)
+            gauges = dict(session.gauges)
+            histograms = {
+                name: hist.to_dict()
+                for name, hist in dict(session.histograms).items()
+            }
+        except RuntimeError:  # resized mid-copy; retry next tick
+            continue
+        message = {
+            "kind": "telemetry",
+            "job": list(job),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+        try:
+            with send_lock:
+                results.send(message)
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _pool_worker(
+    worker_id: int,
+    tasks,
+    results,
+    memo_capacity: int,
+    metrics_interval: Optional[float] = None,
+) -> None:
     """Persistent worker loop: recv job → sync memo → execute → reply.
 
     Import ordering note: this function runs in a child of the pool
     parent, so numpy/repro are already imported under the fork start
     method — the pool's whole point.  Under spawn the first job pays
     the import once and the rest stay warm.
+
+    With ``metrics_interval`` a daemon thread streams cumulative
+    telemetry snapshots of the in-flight job over the same result pipe
+    (serialised by a send lock); the computation itself is untouched.
     """
     from ..core.serialize import setting_to_dict  # noqa: F401  (warm import)
     from .engine import result_to_payload
@@ -392,6 +444,27 @@ def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
     segments: Dict[str, shared_memory.SharedMemory] = {}
     tables: Dict[str, np.ndarray] = {}
     log_offset = 0
+    send_lock = threading.Lock()
+    current_job: Dict[str, Any] = {"job": None}
+    stop_streaming = threading.Event()
+    if metrics_interval:
+        threading.Thread(
+            target=_stream_telemetry,
+            args=(
+                results,
+                send_lock,
+                current_job,
+                stop_streaming,
+                metrics_interval,
+            ),
+            name=f"repro-pool-stream-{worker_id}",
+            daemon=True,
+        ).start()
+
+    def _send(message: Dict[str, Any]) -> None:
+        with send_lock:
+            results.send(message)
+
     while True:
         try:
             message = tasks.recv()
@@ -415,12 +488,14 @@ def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
         journal: List[Tuple[Any, Any]] = []
         memo.journal = journal
         sink = obs.MemorySink()
+        current_job["job"] = (message["index"], message["attempt"])
         try:
             with obs.session(sink):
                 result = spec.execute(fresh_caches=False)
         except Exception:
+            current_job["job"] = None
             memo.journal = None
-            results.send(
+            _send(
                 {
                     "kind": "error",
                     "index": message["index"],
@@ -431,6 +506,7 @@ def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
                 }
             )
             continue
+        current_job["job"] = None
         memo.journal = None
         raw: Optional[str] = None
         if fault is not None and fault.kind == "corrupt":
@@ -445,7 +521,7 @@ def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
             if journal
             else None
         )
-        results.send(
+        _send(
             {
                 "kind": "ok",
                 "index": message["index"],
@@ -456,6 +532,7 @@ def _pool_worker(worker_id: int, tasks, results, memo_capacity: int) -> None:
                 "imported": imported,
             }
         )
+    stop_streaming.set()
 
 
 # ======================================================================
@@ -508,14 +585,19 @@ class WorkerPool:
         memo_capacity: int = DEFAULT_MEMO_CAPACITY,
         memo_dir: Optional[str] = None,
         capture_telemetry: bool = False,
+        metrics_interval: Optional[float] = None,
         context=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if metrics_interval is not None and metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
         self.n_workers = n_workers
         self.memo_capacity = memo_capacity
         self.memo_dir = memo_dir
         self.capture_telemetry = capture_telemetry
+        #: seconds between mid-job telemetry snapshots (None = off)
+        self.metrics_interval = metrics_interval
         self._context = context if context is not None else _preferred_context()
         self.arena = TableArena()
         self.memo_log = MemoLog(capacity=memo_capacity)
@@ -539,7 +621,13 @@ class WorkerPool:
         result_recv, result_send = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_pool_worker,
-            args=(worker_id, task_recv, result_send, self.memo_capacity),
+            args=(
+                worker_id,
+                task_recv,
+                result_send,
+                self.memo_capacity,
+                self.metrics_interval,
+            ),
             daemon=True,
         )
         process.start()
@@ -547,6 +635,9 @@ class WorkerPool:
         task_recv.close()
         result_send.close()
         obs.incr("pool.workers_started")
+        hub = exposition.active_hub()
+        if hub is not None:
+            hub.worker_seen(worker_id)
         return _WorkerHandle(worker_id, process, task_send, result_recv)
 
     def _restart(self, handle: _WorkerHandle) -> None:
@@ -598,6 +689,9 @@ class WorkerPool:
         }
         handle.task_send.send(message)
         handle.job = (index, attempt)
+        hub = exposition.active_hub()
+        if hub is not None:
+            hub.worker_seen(handle.worker_id, job=[index, attempt])
         return handle.worker_id
 
     def wait(self, timeout: Optional[float]) -> List[PoolEvent]:
@@ -618,12 +712,27 @@ class WorkerPool:
         for handle in busy:
             if handle.result_recv not in ready:
                 continue
+            # Drain streamed telemetry snapshots (never surfaced as
+            # PoolEvents) until the completion message, if one is in.
+            message = None
             try:
-                message = handle.result_recv.recv()
+                while True:
+                    message = handle.result_recv.recv()
+                    if message.get("kind") != "telemetry":
+                        break
+                    self._stream_report(handle, message)
+                    if not handle.result_recv.poll():
+                        message = None
+                        break
             except (EOFError, OSError):
                 continue  # worker died mid-send; sentinel path handles it
+            if message is None:
+                continue
             index, attempt = handle.job  # type: ignore[misc]
             handle.job = None
+            hub = exposition.active_hub()
+            if hub is not None:
+                hub.worker_clear(handle.worker_id)
             obs.incr("pool.memo_imported", message.get("imported", 0))
             delta = message.get("memo_delta")
             if delta:
@@ -655,6 +764,9 @@ class WorkerPool:
                 continue
             index, attempt = handle.job
             handle.job = None
+            hub = exposition.active_hub()
+            if hub is not None:
+                hub.worker_gone(handle.worker_id)
             exitcode = handle.process.exitcode
             events.append(
                 PoolEvent(
@@ -668,11 +780,40 @@ class WorkerPool:
             self._restart(handle)
         return events
 
+    def _stream_report(
+        self, handle: _WorkerHandle, message: Dict[str, Any]
+    ) -> None:
+        """Route one streamed snapshot to the live hub (if any).
+
+        Snapshots whose ``(index, attempt)`` no longer match the
+        worker's current job are stale (the job completed or was
+        killed between the worker's send and our recv) and count only
+        as a liveness heartbeat — accepting them would double-count a
+        job already folded into the session.
+        """
+        hub = exposition.active_hub()
+        if hub is None:
+            return
+        job = message.get("job")
+        if handle.job is None or job is None or tuple(job) != handle.job:
+            hub.worker_seen(handle.worker_id)
+            return
+        hub.worker_report(
+            handle.worker_id,
+            list(job),
+            counters=message.get("counters"),
+            gauges=message.get("gauges"),
+            histograms=message.get("histograms"),
+        )
+
     def kill_job(self, index: int) -> bool:
         """Kill the worker running job ``index`` (timeout enforcement)."""
         for handle in self._workers:
             if handle.job is not None and handle.job[0] == index:
                 handle.job = None
+                hub = exposition.active_hub()
+                if hub is not None:
+                    hub.worker_gone(handle.worker_id)
                 self._restart(handle)
                 return True
         return False

@@ -162,6 +162,9 @@ def repeated_runs(
         with obs.span("experiment.run", run=index):
             result = run(np.random.default_rng(child))
         if obs.enabled():
+            med = getattr(result, "med", None)
+            if med is not None:
+                obs.observe("run.med", med)
             obs.event(
                 "run.completed",
                 benchmark=getattr(

@@ -26,17 +26,19 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional
 
-from .core import NOOP_SPAN, Span, Telemetry
+from .core import NOOP_SPAN, Histogram, Span, Telemetry
 from .manifest import RunManifest, config_hash, git_revision
-from .sinks import JsonlSink, MemorySink, Sink, StderrSink
-from . import manifest, summarize  # noqa: F401  (re-exported submodules)
+from .sinks import JsonlSink, MemorySink, NullSink, Sink, StderrSink
+from . import exposition, manifest, summarize  # noqa: F401  (re-exported)
 
 __all__ = [
     "Telemetry",
     "Span",
+    "Histogram",
     "Sink",
     "MemorySink",
     "JsonlSink",
+    "NullSink",
     "StderrSink",
     "RunManifest",
     "config_hash",
@@ -49,7 +51,9 @@ __all__ = [
     "span",
     "incr",
     "gauge",
+    "observe",
     "event",
+    "exposition",
     "manifest",
     "summarize",
 ]
@@ -125,6 +129,13 @@ def gauge(name: str, value: float) -> None:
     telemetry = _current
     if telemetry is not None:
         telemetry.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record an observation into a histogram (no-op when disabled)."""
+    telemetry = _current
+    if telemetry is not None:
+        telemetry.observe(name, value)
 
 
 def event(name: str, **attributes) -> None:

@@ -12,7 +12,7 @@ import os
 import sys
 from typing import Any, Dict, List, Optional, TextIO
 
-__all__ = ["Sink", "MemorySink", "JsonlSink", "StderrSink"]
+__all__ = ["Sink", "MemorySink", "JsonlSink", "NullSink", "StderrSink"]
 
 
 class Sink:
@@ -26,6 +26,18 @@ class Sink:
 
     def close(self) -> None:
         self.flush()
+
+
+class NullSink(Sink):
+    """Discards every record.
+
+    Used when live counters/histograms are wanted (e.g. a
+    ``--metrics-port`` campaign without ``--trace``) but no trace
+    output should be written.
+    """
+
+    def record(self, record: Dict[str, Any]) -> None:
+        pass
 
 
 class MemorySink(Sink):

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Union
 
+from .core import Histogram
+
 __all__ = [
     "PhaseStats",
     "TraceSummary",
@@ -58,6 +60,8 @@ class TraceSummary:
     counters: Dict[str, float] = field(default_factory=dict)
     events: Dict[str, int] = field(default_factory=dict)
     manifests: List[Dict[str, Any]] = field(default_factory=list)
+    #: merged value-distribution histograms (``obs.observe``)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
 
     def phase_timings(self) -> Dict[str, Dict[str, float]]:
         """The rollup in manifest form (span name -> count/total)."""
@@ -175,6 +179,19 @@ class TraceSummary:
                     line += f" / {info['evictions']:g} evictions"
                 lines.append(line + ")")
 
+        if self.histograms:
+            lines.append("distributions:")
+            for name in sorted(self.histograms):
+                hist = self.histograms[name]
+                if not hist.count:
+                    continue
+                lines.append(
+                    f"  {name}: n={hist.count} mean={hist.mean:.4g} "
+                    f"p50={hist.quantile(0.5):.4g} "
+                    f"p90={hist.quantile(0.9):.4g} "
+                    f"p99={hist.quantile(0.99):.4g} "
+                    f"[{hist.min:.4g}, {hist.max:.4g}]"
+                )
         if self.events:
             lines.append(
                 "events: "
@@ -234,6 +251,11 @@ def summarize(source: Union[str, Iterable[Dict[str, Any]]]) -> TraceSummary:
         elif kind == "counters":
             for name, value in record.get("values", {}).items():
                 summary.counters[name] = summary.counters.get(name, 0) + value
+            for name, payload in record.get("histograms", {}).items():
+                hist = summary.histograms.get(name)
+                if hist is None:
+                    hist = summary.histograms[name] = Histogram()
+                hist.merge(payload)
         elif kind == "event":
             name = record.get("name", "?")
             summary.events[name] = summary.events.get(name, 0) + 1

@@ -1,0 +1,146 @@
+"""Histogram primitive: unit + property tests (hypothesis).
+
+The merge operation must be associative and commutative (worker
+telemetry arrives in arbitrary order and is folded pairwise), and
+quantile estimates must stay within one log-bucket of the truth:
+``|estimate - true| <= (BASE - 1) * |true| + 2 * REF`` and always
+inside ``[min, max]``.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram
+
+finite_values = st.floats(
+    min_value=-1e12,
+    max_value=1e12,
+    allow_nan=False,
+    allow_infinity=False,
+)
+value_lists = st.lists(finite_values, max_size=60)
+
+
+def _filled(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogramBasics:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert math.isnan(hist.quantile(0.5))
+        payload = hist.to_dict()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+
+    def test_observe_tracks_count_sum_min_max(self):
+        hist = _filled([1.0, 2.0, 3.0])
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_nan_observations_are_skipped(self):
+        hist = _filled([1.0, float("nan"), 2.0])
+        assert hist.count == 2
+
+    def test_zero_and_tiny_values_share_the_zero_bucket(self):
+        hist = _filled([0.0, Histogram.REF / 2, -Histogram.REF / 2])
+        assert hist.buckets == {0: 3}
+
+    def test_negative_values_get_mirrored_buckets(self):
+        hist = _filled([-1.0])
+        (index,) = hist.buckets
+        assert index < 0
+        assert Histogram.bucket_upper_bound(index) < 0
+
+    def test_round_trip_through_json(self):
+        hist = _filled([0.001, 0.5, 12.0, -3.0, 0.0])
+        payload = json.loads(json.dumps(hist.to_dict()))
+        clone = Histogram.from_dict(payload)
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+
+    def test_merge_accepts_dict_payloads(self):
+        left = _filled([1.0, 2.0])
+        right = _filled([3.0])
+        left.merge(right.to_dict())
+        assert left.count == 3
+        assert left.max == 3.0
+
+    def test_quantile_of_single_value_is_close(self):
+        hist = _filled([0.25])
+        estimate = hist.quantile(0.5)
+        assert abs(estimate - 0.25) <= (Histogram.BASE - 1) * 0.25
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(value_lists, value_lists, value_lists)
+    def test_merge_is_associative(self, xs, ys, zs):
+        a, b, c = _filled(xs), _filled(ys), _filled(zs)
+        left = Histogram()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+
+        bc = Histogram()
+        bc.merge(b)
+        bc.merge(c)
+        right = Histogram()
+        right.merge(a)
+        right.merge(bc)
+
+        assert left.buckets == right.buckets
+        assert left.count == right.count
+        assert left.min == right.min and left.max == right.max
+        # float addition is not associative: allow grouping error
+        # proportional to the magnitude sum
+        slack = 1e-9 * sum(abs(v) for v in xs + ys + zs) + 1e-9
+        assert abs(left.total - right.total) <= slack
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_lists, value_lists)
+    def test_merge_is_commutative(self, xs, ys):
+        ab = Histogram()
+        ab.merge(_filled(xs))
+        ab.merge(_filled(ys))
+        ba = Histogram()
+        ba.merge(_filled(ys))
+        ba.merge(_filled(xs))
+        assert ab.buckets == ba.buckets
+        assert ab.count == ba.count
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_lists, value_lists)
+    def test_merge_equals_combined_observation(self, xs, ys):
+        merged = Histogram()
+        merged.merge(_filled(xs))
+        merged.merge(_filled(ys))
+        combined = _filled(xs + ys)
+        assert merged.buckets == combined.buckets
+        assert merged.count == combined.count
+        assert merged.min == combined.min and merged.max == combined.max
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(finite_values, min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_within_one_log_bucket_of_truth(self, values, q):
+        hist = _filled(values)
+        estimate = hist.quantile(q)
+        ordered = sorted(values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        truth = ordered[rank - 1]
+        # one multiplicative bucket of slack, plus the zero-bucket edge
+        slack = (Histogram.BASE - 1) * abs(truth) + 2 * Histogram.REF
+        assert abs(estimate - truth) <= slack + 1e-12 * abs(truth)
+        assert hist.min <= estimate <= hist.max

@@ -247,3 +247,76 @@ class TestCampaignCommands:
         monkeypatch.delenv(ENV_VAR)
         assert main(["resume", campaign]) == 0
         assert "0 quarantined" in capsys.readouterr().out
+
+
+class TestMetricsCli:
+    """`--metrics-port`, `repro top`, and bench-snapshot summaries."""
+
+    def test_metrics_port_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--dir", "/tmp/c", "--metrics-port", "9640"]
+        )
+        assert args.metrics_port == 9640
+        assert build_parser().parse_args(
+            ["run", "table2", "--dir", "/tmp/c"]
+        ).metrics_port is None
+
+    def test_run_with_metrics_port_announces_endpoint(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            [
+                "run", "table2", "--dir", str(tmp_path / "camp"),
+                "--scale", "smoke", "--backend", "pool",
+                "--jobs", "1", "--metrics-port", "0",
+            ]
+        ) == 0
+        assert "live metrics: http://127.0.0.1:" in capsys.readouterr().err
+
+    def test_summarize_renders_bench_snapshot_provenance(
+        self, capsys, tmp_path
+    ):
+        snapshot = {
+            "protocol": "table2",
+            "provenance": {
+                "git_rev": "abcdef0123456789",
+                "created_iso": "2026-08-08T00:00:00+00:00",
+                "cpu_count": 4,
+                "python": "3.11.7",
+            },
+            "scale": "default",
+            "benchmarks": ["cos"],
+            "meds": [{"benchmark": "cos"}],
+            "fast": {"min": 10.0},
+            "reference": {"min": 13.0},
+        }
+        path = tmp_path / "BENCH_table2.json"
+        path.write_text(json.dumps(snapshot))
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "provenance: git=abcdef012345 " in out
+        assert "created=2026-08-08T00:00:00+00:00" in out
+        assert "cpus=4" in out
+        assert "MED rows: 1" in out
+
+    def test_summarize_flags_unstamped_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"protocol": "table2"}))
+        assert main(["summarize", str(path)]) == 0
+        assert "not stamped" in capsys.readouterr().out
+
+    def test_top_once_renders_a_frame(self, capsys):
+        from repro.obs import exposition
+
+        hub = exposition.MetricsHub()
+        hub.campaign_update(state="running", total=8, done=2, running=1)
+        with exposition.MetricsServer(hub, port=0) as server:
+            assert main(
+                ["top", f"{server.host}:{server.port}", "--once"]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "2/8 done" in out
+
+    def test_top_unreachable_endpoint_is_an_error(self, capsys):
+        assert main(["top", "127.0.0.1:1", "--once"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
