@@ -79,6 +79,29 @@ def _load(path: Path) -> Dict[str, Any]:
         return json.load(handle)
 
 
+def _check_provenance(
+    ratchet: Ratchet, tag: str, snapshot: Dict[str, Any], role: str
+) -> None:
+    """Reject snapshots produced from a partial (unmerged) shard run.
+
+    A ``--shard i/n`` process exports ``REPRO_SHARD`` and
+    ``snapshot_provenance()`` stamps it: such numbers cover only one
+    shard's partition, so they are not comparable to whole-campaign
+    baselines.  Merge the shard directories and regenerate instead.
+    """
+    shard = (snapshot.get("provenance") or {}).get("shard")
+    ratchet.check(
+        f"{tag}: {role} provenance",
+        shard is None,
+        "whole-campaign snapshot"
+        if shard is None
+        else (
+            f"produced by shard {shard} of a sharded campaign — "
+            "merge the shards and regenerate the snapshot"
+        ),
+    )
+
+
 def _med_rows(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     return {row["benchmark"]: row for row in snapshot.get("meds", [])}
 
@@ -203,6 +226,8 @@ def check_table2(
     fresh: Dict[str, Any],
     tolerance: float,
 ) -> None:
+    _check_provenance(ratchet, "table2", committed, "committed")
+    _check_provenance(ratchet, "table2", fresh, "fresh")
     _check_meds(ratchet, "table2", committed, fresh)
 
     def ratio(snapshot: Dict[str, Any]) -> Optional[float]:
@@ -235,6 +260,8 @@ def check_parallel(
     fresh: Dict[str, Any],
     tolerance: float,
 ) -> None:
+    _check_provenance(ratchet, "parallel", committed, "committed")
+    _check_provenance(ratchet, "parallel", fresh, "fresh")
     _check_meds(ratchet, "parallel", committed, fresh)
     ratchet.check(
         "parallel: cross-backend byte identity",

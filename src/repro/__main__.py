@@ -16,7 +16,11 @@ Commands
 ``resume``
     Resume an interrupted campaign from its checkpoint directory.
 ``status``
-    Show a campaign directory's progress (done / pending / quarantined).
+    Show a campaign directory's progress (done / running / pending /
+    quarantined, with per-shard breakdown for sharded campaigns).
+``merge-campaign``
+    Join shard campaign directories (``repro run --shard i/n``) into
+    one campaign byte-identical to an unsharded run.
 ``info``
     Describe a saved configuration file.
 ``summarize``
@@ -55,6 +59,7 @@ from .experiments.engine import (
     resume_campaign,
     run_experiment_campaign,
 )
+from .experiments.store import DEFAULT_LEASE_TTL, merge_campaigns
 
 _SCALES = {
     "smoke": ExperimentScale.smoke,
@@ -152,7 +157,24 @@ def _jobs_arg(text: str) -> int:
     return value
 
 
+def _shard_arg(text: str):
+    """argparse type for ``--shard``: ``i/n`` with 0 <= i < n."""
+    index_text, _, count_text = text.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected i/n (e.g. 2/4), got {text!r}"
+        )
+    if count < 1 or not (0 <= index < count):
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, n) with n >= 1; got {text!r}"
+        )
+    return (index, count)
+
+
 def _engine_config(args) -> EngineConfig:
+    shard = getattr(args, "shard", None)
     return EngineConfig(
         n_jobs=resolve_jobs(args.jobs),
         job_timeout=args.timeout,
@@ -161,6 +183,10 @@ def _engine_config(args) -> EngineConfig:
         backend=args.backend,
         memo_dir=args.memo_dir,
         metrics_port=args.metrics_port,
+        store=getattr(args, "store", "local"),
+        shard_index=None if shard is None else shard[0],
+        shard_count=None if shard is None else shard[1],
+        lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
     )
 
 
@@ -176,6 +202,25 @@ def _report_outcome(outcome) -> int:
     return 0
 
 
+def _render_result(result, outcome) -> None:
+    """Print the experiment report, unless this was a partial shard run.
+
+    A strictly partitioned ``--shard i/n`` run holds only its own
+    slice of the campaign — rendering the full table from it would be
+    misleading (and some benchmarks may have no completed runs at
+    all), so point at ``merge-campaign`` instead.
+    """
+    if outcome.skipped:
+        print(
+            f"shard run complete: {outcome.skipped} job(s) belong to "
+            "other shards; join the shard directories with "
+            "`repro merge-campaign <dirs...> --into <dir>` and resume "
+            "or summarize the merged campaign"
+        )
+        return
+    print(result.render())
+
+
 def _cmd_run(args) -> int:
     try:
         config = _engine_config(args)
@@ -189,7 +234,7 @@ def _cmd_run(args) -> int:
         campaign_dir=args.dir,
         config=config,
     )
-    print(result.render())
+    _render_result(result, outcome)
     return _report_outcome(outcome)
 
 
@@ -202,7 +247,7 @@ def _cmd_resume(args) -> int:
     except CampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.render())
+    _render_result(result, outcome)
     return _report_outcome(outcome)
 
 
@@ -213,6 +258,16 @@ def _cmd_status(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_merge(args) -> int:
+    try:
+        outcome = merge_campaigns(args.sources, args.into)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.render())
+    return 0 if outcome.complete else 3
 
 
 def _render_bench_snapshot(path: str, payload: dict) -> str:
@@ -449,6 +504,38 @@ def build_parser() -> argparse.ArgumentParser:
             "with `repro top`)"
         ),
     )
+    engine_opts.add_argument(
+        "--shard",
+        type=_shard_arg,
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only shard I of N (jobs partitioned by stable "
+            "fingerprint hash — byte-identical membership on every "
+            "host); join shard dirs with `repro merge-campaign`"
+        ),
+    )
+    engine_opts.add_argument(
+        "--store",
+        default="local",
+        choices=["local", "shared"],
+        help=(
+            "checkpoint store: local = one engine per directory, "
+            "shared = concurrent shards on one shared-filesystem "
+            "directory with lease-based work claiming"
+        ),
+    )
+    engine_opts.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help=(
+            "seconds a shared-store lease stays valid without a "
+            "heartbeat; a dead shard's jobs are reclaimed by a "
+            "sibling after this long (default %(default)s)"
+        ),
+    )
 
     run_parser = sub.add_parser(
         "run",
@@ -476,6 +563,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status_parser.add_argument("dir", help="campaign checkpoint directory")
     status_parser.set_defaults(func=_cmd_status)
+
+    merge_parser = sub.add_parser(
+        "merge-campaign",
+        help="join shard campaign directories into one campaign",
+        parents=[telemetry],
+    )
+    merge_parser.add_argument(
+        "sources", nargs="+", help="shard campaign directories to merge"
+    )
+    merge_parser.add_argument(
+        "--into", required=True, help="destination campaign directory"
+    )
+    merge_parser.set_defaults(func=_cmd_merge)
 
     info_parser = sub.add_parser(
         "info", help="describe a saved configuration", parents=[telemetry]

@@ -8,23 +8,32 @@ engine:
 
 * every :class:`~repro.experiments.parallel.RunSpec` becomes a job
   whose result is persisted **atomically** (write to a temp file,
-  ``fsync``, ``os.replace``) under a campaign directory, so an
-  interrupted campaign resumes from its checkpoints and completes
-  byte-identical to an uninterrupted run — seeds come from the
-  existing ``SeedSequence.spawn`` scheme, so resume never re-draws RNG
-  state;
+  ``fsync``, ``os.replace``) through a pluggable
+  :class:`~repro.experiments.store.CheckpointStore`, so an interrupted
+  campaign resumes from its checkpoints and completes byte-identical
+  to an uninterrupted run — seeds come from the existing
+  ``SeedSequence.spawn`` scheme, so resume never re-draws RNG state;
 * each job runs in a supervised worker process with a per-job timeout,
   bounded retries with deterministic backoff, and quarantine of poison
   jobs (partial-result reporting instead of campaign abort);
+* a campaign can be **sharded across hosts**: ``EngineConfig`` carries
+  a ``shard_index/shard_count`` identity, jobs are partitioned by
+  stable fingerprint hash (:func:`~repro.experiments.store.shard_of`),
+  and with the shared-directory store each engine claims work through
+  expiring leases — a SIGKILLed or hung shard simply stops renewing
+  and a sibling adopts its jobs.  Separate per-shard directories are
+  joined back with :func:`~repro.experiments.store.merge_campaigns`;
 * a seedable fault-injection harness (:mod:`repro.faults`) can kill,
-  hang, or corrupt chosen jobs so the chaos tests and CI prove the
-  recovery paths are byte-exact.
+  hang, or corrupt chosen jobs — and kill whole shards or plant stale
+  leases — so the chaos tests and CI prove the recovery paths are
+  byte-exact.
 
 Telemetry (when enabled) gains ``engine.resumed`` / ``engine.retries``
-/ ``engine.timeouts`` / ``engine.quarantined`` counters and the worker
-spans are folded into the parent session exactly as ``run_many`` does;
-with telemetry off the engine path's outputs are byte-identical to
-``run_many`` under the same base seed.
+/ ``engine.timeouts`` / ``engine.quarantined`` counters (plus the
+``engine.shard`` gauge and ``lease.claimed/expired/stolen`` from the
+shared store) and the worker spans are folded into the parent session
+exactly as ``run_many`` does; with telemetry off the engine path's
+outputs are byte-identical to ``run_many`` under the same base seed.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import faults as faults_mod
 from .. import obs
@@ -50,6 +59,22 @@ from ..core.settings import SettingSequence
 from . import reporting
 from .parallel import RunSpec
 from .pool import DEFAULT_MEMO_CAPACITY
+from .store import (
+    CAMPAIGN_FILE as _CAMPAIGN_FILE,
+    DEFAULT_LEASE_TTL,
+    JOBS_DIR as _JOBS_DIR,
+    QUARANTINE_DIR as _QUARANTINE_DIR,
+    SCHEMA as _SCHEMA,
+    CampaignError,
+    CampaignMismatch,
+    CheckpointStore,
+    LocalStore,
+    SharedDirStore,
+    atomic_write_json,
+    make_store,
+    shard_indices,
+    shard_of,
+)
 
 __all__ = [
     "EngineConfig",
@@ -69,58 +94,10 @@ __all__ = [
     "campaign_status",
 ]
 
-_SCHEMA = 1
-_CAMPAIGN_FILE = "campaign.json"
-_JOBS_DIR = "jobs"
-_QUARANTINE_DIR = "quarantine"
-
-
-class CampaignError(RuntimeError):
-    """A campaign could not run or resume."""
-
-
-class CampaignMismatch(CampaignError):
-    """A checkpoint directory belongs to a different campaign."""
-
-
-# ======================================================================
-# Crash-safe persistence
-# ======================================================================
-def _fsync_dir(path: str) -> None:
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fds
-        return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def atomic_write_json(path: str, payload: Any) -> None:
-    """Durably write ``payload`` as JSON: temp file + fsync + rename.
-
-    A reader never observes a partially-written file — either the old
-    state exists or the complete new one does, even across SIGKILL or
-    power loss at any point.
-    """
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(
-        prefix=os.path.basename(path) + ".tmp-", dir=directory
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, sort_keys=True, default=str)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
-    _fsync_dir(directory)
+#: environment variable marking the process as one shard of a larger
+#: campaign (``"i/n"``) — stamped into benchmark snapshot provenance
+#: so the regression ratchet can reject partial-shard numbers
+SHARD_ENV_VAR = "REPRO_SHARD"
 
 
 def backoff_seconds(attempt: int, base: float) -> float:
@@ -261,6 +238,20 @@ class EngineConfig:
     #: runs (0 = ephemeral port; None = no server).  Read-only: the
     #: endpoint never changes campaign results.
     metrics_port: Optional[int] = None
+    #: checkpoint store: "local" = single-writer directory, "shared" =
+    #: concurrent-writer directory with lease-based claiming (see
+    #: repro.experiments.store)
+    store: str = "local"
+    #: this engine's shard identity (both or neither of index/count);
+    #: jobs are partitioned by stable fingerprint hash, so membership
+    #: is byte-identical on every host regardless of count
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
+    #: seconds a shared-store lease stays valid without a heartbeat
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    #: with a shared store, pick up other shards' unclaimed/expired
+    #: jobs once this shard's own partition is done (work stealing)
+    adopt: bool = True
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -281,6 +272,32 @@ class EngineConfig:
             0 <= self.metrics_port <= 65535
         ):
             raise ValueError("metrics_port must be in [0, 65535]")
+        if self.store not in ("local", "shared"):
+            raise ValueError(
+                f"unknown store {self.store!r}; choose local or shared"
+            )
+        if (self.shard_index is None) != (self.shard_count is None):
+            raise ValueError(
+                "shard_index and shard_count must be set together "
+                "(e.g. --shard 2/4)"
+            )
+        if self.shard_count is not None:
+            if self.shard_count < 1:
+                raise ValueError("shard_count must be >= 1")
+            if not (0 <= self.shard_index < self.shard_count):
+                raise ValueError(
+                    f"shard_index must be in [0, {self.shard_count}); "
+                    f"got {self.shard_index}"
+                )
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+
+    @property
+    def shard_label(self) -> Optional[str]:
+        """``"i/n"`` when sharded, else ``None``."""
+        if self.shard_index is None:
+            return None
+        return f"{self.shard_index}/{self.shard_count}"
 
 
 @dataclass
@@ -302,7 +319,10 @@ class CampaignOutcome:
     """What a campaign run produced.
 
     ``results`` is in spec order; quarantined jobs are ``None`` —
-    partial-result reporting instead of campaign abort.
+    partial-result reporting instead of campaign abort.  A strictly
+    partitioned shard run leaves other shards' jobs ``None`` too and
+    counts them in ``skipped``; merge the shard directories to get the
+    full campaign.
     """
 
     results: List[Optional[ApproximationResult]]
@@ -310,6 +330,7 @@ class CampaignOutcome:
     executed: int = 0
     retries: int = 0
     timeouts: int = 0
+    skipped: int = 0
     quarantined: List[JobFailure] = field(default_factory=list)
 
     @property
@@ -318,10 +339,15 @@ class CampaignOutcome:
 
     def require_complete(self) -> List[ApproximationResult]:
         if not self.complete:
-            labels = ", ".join(f.label for f in self.quarantined)
+            if self.quarantined:
+                labels = ", ".join(f.label for f in self.quarantined)
+                raise CampaignError(
+                    f"campaign incomplete: {len(self.quarantined)} job(s) "
+                    f"quarantined ({labels})"
+                )
             raise CampaignError(
-                f"campaign incomplete: {len(self.quarantined)} job(s) "
-                f"quarantined ({labels})"
+                f"campaign incomplete: {self.skipped} job(s) belong to "
+                "other shards — merge the shard directories first"
             )
         return list(self.results)  # type: ignore[arg-type]
 
@@ -338,6 +364,50 @@ class _Running:
         self.attempt = attempt
 
 
+class _JobQueue:
+    """Claim-aware scheduling state shared by both supervision backends.
+
+    ``pending`` holds this shard's own jobs (retries re-enter here);
+    ``deferred`` holds jobs whose lease claim failed — a live sibling
+    holds them — keyed to the wall time of the next claim attempt;
+    ``foreign`` holds other shards' jobs, only drawn once the own
+    partition has drained.
+    """
+
+    def __init__(
+        self,
+        owned: Sequence[int],
+        foreign: Sequence[int],
+        retry_delay: float,
+    ) -> None:
+        self.pending: deque = deque(owned)
+        self.foreign: deque = deque(foreign)
+        self.retry_delay = retry_delay
+        self.deferred: Dict[int, float] = {}
+
+    def defer(self, index: int) -> None:
+        self.deferred[index] = time.time() + self.retry_delay
+
+    def requeue(self, index: int) -> None:
+        self.pending.append(index)
+
+    def next_index(self) -> Optional[int]:
+        if self.pending:
+            return self.pending.popleft()
+        now = time.time()
+        due = [index for index, when in self.deferred.items() if when <= now]
+        if due:
+            index = min(due)
+            del self.deferred[index]
+            return index
+        if self.foreign:
+            return self.foreign.popleft()
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.pending or self.deferred or self.foreign)
+
+
 class Engine:
     """Checkpointed, supervised executor of :class:`RunSpec` campaigns.
 
@@ -346,7 +416,9 @@ class Engine:
     directory discarded after the run.  With a directory, completed
     jobs are durable: a second ``run`` over the same specs skips them
     (``engine.resumed``) and an interrupted campaign picks up where it
-    stopped.
+    stopped.  With a shard identity the engine runs its own partition
+    of the job list; on a shared store it then adopts siblings' jobs
+    whose leases are absent or expired.
     """
 
     def __init__(
@@ -362,27 +434,27 @@ class Engine:
         self.invocation: Optional[Dict[str, Any]] = None
         #: outcome of the most recent :meth:`run`
         self.last_outcome: Optional[CampaignOutcome] = None
+        #: the checkpoint store of the in-flight (or last) run
+        self.store: Optional[CheckpointStore] = None
         #: live metrics hub while a --metrics-port run is in flight
         self._hub = None
         #: (host, port) of the running metrics server, if any
         self.metrics_address: Optional[Tuple[str, int]] = None
+        self._foreign: Set[int] = set()
+        self._claimed: Set[int] = set()
+        self._lease_faults_fired: Set[int] = set()
 
     # -- campaign layout ----------------------------------------------
-    def _job_path(self, jobs_dir: str, index: int) -> str:
-        return os.path.join(jobs_dir, f"job-{index:05d}.json")
-
-    def _quarantine_path(self, index: int) -> str:
-        assert self.campaign_dir is not None
-        return os.path.join(
-            self.campaign_dir, _QUARANTINE_DIR, f"job-{index:05d}.json"
-        )
-
     def _init_campaign(self, specs: Sequence[RunSpec]) -> None:
-        """Create or validate the campaign directory for these specs."""
-        assert self.campaign_dir is not None
-        os.makedirs(os.path.join(self.campaign_dir, _JOBS_DIR), exist_ok=True)
-        os.makedirs(os.path.join(self.campaign_dir, _QUARANTINE_DIR), exist_ok=True)
-        manifest_path = os.path.join(self.campaign_dir, _CAMPAIGN_FILE)
+        """Create or validate the campaign manifest for these specs."""
+        if self.store is None:
+            assert self.campaign_dir is not None
+            self.store = make_store(
+                self.campaign_dir,
+                self.config.store,
+                lease_ttl=self.config.lease_ttl,
+            )
+            self.store.prepare()
         jobs = [
             {
                 "id": f"job-{index:05d}",
@@ -393,9 +465,8 @@ class Engine:
             }
             for index, spec in enumerate(specs)
         ]
-        if os.path.exists(manifest_path):
-            with open(manifest_path) as handle:
-                existing = json.load(handle)
+        existing = self.store.read_manifest()
+        if existing is not None:
             recorded = [job["fingerprint"] for job in existing.get("jobs", [])]
             ours = [job["fingerprint"] for job in jobs]
             if recorded != ours:
@@ -405,14 +476,28 @@ class Engine:
                     "fingerprints differ)"
                 )
             return
+        shard: Optional[Dict[str, Any]] = None
+        if self.config.shard_count is not None:
+            # A shared directory is written by every shard (whoever
+            # inits first wins the race), so it records no single
+            # index; a per-shard local directory records its own.
+            shard = {
+                "index": (
+                    None
+                    if self.store.supports_leases
+                    else self.config.shard_index
+                ),
+                "count": self.config.shard_count,
+            }
         manifest = {
             "schema": _SCHEMA,
             "created": time.time(),
             "engine": dataclasses.asdict(self.config),
             "invocation": self.invocation,
+            "shard": shard,
             "jobs": jobs,
         }
-        atomic_write_json(manifest_path, manifest)
+        self.store.write_manifest(manifest)
 
     # -- the run loop --------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> CampaignOutcome:
@@ -422,18 +507,32 @@ class Engine:
         if not specs:
             self.last_outcome = outcome
             return outcome
+        config = self.config
+        self._foreign = set()
+        self._claimed = set()
+        self._lease_faults_fired = set()
         try:
             with contextlib.ExitStack() as stack:
                 self._start_metrics(stack, len(specs))
+                if config.shard_label is not None:
+                    os.environ[SHARD_ENV_VAR] = config.shard_label
+                    stack.callback(os.environ.pop, SHARD_ENV_VAR, None)
                 if self.campaign_dir is not None:
+                    self.store = make_store(
+                        self.campaign_dir,
+                        config.store,
+                        lease_ttl=config.lease_ttl,
+                    )
+                    self.store.prepare()
                     self._init_campaign(specs)
-                    jobs_dir = os.path.join(self.campaign_dir, _JOBS_DIR)
-                    self._execute(specs, jobs_dir, outcome)
+                    self._execute(specs, outcome)
                 else:
                     with tempfile.TemporaryDirectory(
                         prefix="repro-engine-"
-                    ) as jobs_dir:
-                        self._execute(specs, jobs_dir, outcome)
+                    ) as tmp_dir:
+                        self.store = LocalStore(tmp_dir)
+                        self.store.prepare()
+                        self._execute(specs, outcome)
         finally:
             self._hub = None
         self.last_outcome = outcome
@@ -458,13 +557,17 @@ class Engine:
             stack.enter_context(obs.session(obs.NullSink()))
         hub = exposition.MetricsHub(telemetry=obs.current())
         invocation = self.invocation or {}
-        hub.campaign_update(
+        fields: Dict[str, Any] = dict(
             state="running",
             total=total,
             backend=self.config.backend,
             experiment=invocation.get("experiment"),
             scale=invocation.get("scale"),
         )
+        if self.config.shard_label is not None:
+            fields["shard"] = self.config.shard_label
+            fields["store"] = self.config.store
+        hub.campaign_update(**fields)
         server = exposition.MetricsServer(hub, port=port)
         server.start()
         self.metrics_address = (server.host, server.port)
@@ -486,15 +589,15 @@ class Engine:
             "resumed": outcome.resumed,
             "retried": outcome.retries,
             "timeouts": outcome.timeouts,
+            "skipped": outcome.skipped,
             "quarantined": len(outcome.quarantined),
         }
         if running is not None:
             fields["running"] = running
         hub.campaign_update(**fields)
 
-    def _execute(
-        self, specs: List[RunSpec], jobs_dir: str, outcome: CampaignOutcome
-    ) -> None:
+    def _execute(self, specs: List[RunSpec], outcome: CampaignOutcome) -> None:
+        assert self.store is not None
         telemetry = obs.current()
         config = self.config
         with obs.span(
@@ -502,40 +605,68 @@ class Engine:
             jobs=len(specs),
             n_jobs=config.n_jobs,
             backend=config.backend,
+            shard=config.shard_label,
         ):
-            pending: deque = deque()
+            if config.shard_index is not None:
+                obs.gauge("engine.shard", config.shard_index)
+                obs.gauge("engine.shard_count", config.shard_count)
+            if config.shard_count is not None and config.shard_count > 1:
+                fingerprints = [spec.fingerprint() for spec in specs]
+                owned_set = set(
+                    shard_indices(
+                        fingerprints, config.shard_index, config.shard_count
+                    )
+                )
+            else:
+                owned_set = set(range(len(specs)))
+            adopt_foreign = self.store.supports_leases and config.adopt
+            owned: List[int] = []
+            foreign: List[int] = []
             for index, spec in enumerate(specs):
                 if telemetry is not None:
                     telemetry.event("run.seeded", **spec.seed_info())
-                if self._try_resume(spec, jobs_dir, index, outcome):
+                if self._try_resume(spec, index, outcome):
                     continue
-                pending.append(index)
+                if index in owned_set:
+                    owned.append(index)
+                elif adopt_foreign:
+                    foreign.append(index)
+                else:
+                    outcome.skipped += 1
+                    obs.incr("engine.skipped")
+            self._foreign = set(foreign)
+            retry_delay = config.poll_interval
+            if self.store.supports_leases:
+                retry_delay = max(
+                    config.poll_interval, self.store.lease_ttl / 4.0
+                )
+            queue = _JobQueue(owned, foreign, retry_delay)
             if config.backend == "pool":
-                self._supervise_pool(specs, jobs_dir, pending, outcome)
+                self._supervise_pool(specs, queue, outcome)
             else:
-                self._supervise(specs, jobs_dir, pending, outcome)
+                self._supervise(specs, queue, outcome)
 
     def _try_resume(
-        self, spec: RunSpec, jobs_dir: str, index: int, outcome: CampaignOutcome
+        self, spec: RunSpec, index: int, outcome: CampaignOutcome
     ) -> bool:
         """Adopt a persisted checkpoint for this job, if one is valid."""
-        path = self._job_path(jobs_dir, index)
-        if not os.path.exists(path):
-            return False
+        assert self.store is not None
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            result = result_from_payload(spec, payload)
-        except CampaignMismatch:
-            raise
-        except (ValueError, KeyError, TypeError, OSError):
+            payload = self.store.read_job(index)
+        except (ValueError, OSError):
             # Torn or stale checkpoint (should be impossible with atomic
             # writes, but e.g. an injected corruption survives a kill):
             # discard and re-run the job.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self.store.discard_job(index)
+            return False
+        if payload is None:
+            return False
+        try:
+            result = result_from_payload(spec, payload)
+        except CampaignMismatch:
+            raise
+        except (ValueError, KeyError, TypeError):
+            self.store.discard_job(index)
             return False
         outcome.results[index] = result
         outcome.resumed += 1
@@ -547,7 +678,85 @@ class Engine:
         self._sync_hub(outcome)
         return True
 
+    def _adopt_quarantine(
+        self, specs: List[RunSpec], index: int, outcome: CampaignOutcome
+    ) -> bool:
+        """Adopt a sibling shard's quarantine record for a foreign job."""
+        assert self.store is not None
+        path = self.store.quarantine_path(index)
+        if not os.path.exists(path):
+            return False
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        failure = JobFailure(
+            index=index,
+            label=record.get("label", specs[index].label),
+            reason=record.get("reason", "quarantined-by-sibling"),
+            attempts=int(record.get("attempts", 0) or 0),
+            detail=record.get("detail", ""),
+        )
+        outcome.quarantined.append(failure)
+        obs.incr("engine.quarantine_adopted")
+        obs.event(
+            "engine.quarantine_adopted", job=index, label=failure.label
+        )
+        self._sync_hub(outcome)
+        return True
+
     # -- shared supervision helpers (both backends) --------------------
+    def _admit(
+        self,
+        specs: List[RunSpec],
+        index: int,
+        outcome: CampaignOutcome,
+        queue: _JobQueue,
+        telemetry,
+    ) -> bool:
+        """Resolve a job without running it if possible; claim otherwise.
+
+        Returns True when the caller should launch a worker: the job
+        has no checkpoint, no (foreign) quarantine record, and this
+        engine now holds its claim.  A claim lost to a live sibling
+        re-enters the queue's deferred set — by its next attempt the
+        sibling has either checkpointed the job (we adopt it) or died
+        (its lease expires and we steal it).
+        """
+        assert self.store is not None
+        if outcome.results[index] is not None:
+            return False
+        if self._try_resume(specs[index], index, outcome):
+            return False
+        if index in self._foreign and self._adopt_quarantine(
+            specs, index, outcome
+        ):
+            return False
+        fault = self.faults.lease_fault(index)
+        if fault is not None and index not in self._lease_faults_fired:
+            self._lease_faults_fired.add(index)
+            obs.incr("faults.injected")
+            obs.event("faults.lease_injected", job=index, kind=fault.kind)
+            self.store.plant_stale_lease(index)
+        if not self.store.try_claim(index):
+            queue.defer(index)
+            return False
+        if index not in self._claimed:
+            self._claimed.add(index)
+            kill = self.faults.shard_kill(
+                self.config.shard_index, len(self._claimed)
+            )
+            if kill is not None:
+                # Injected shard death: die the hard way right after
+                # claiming, leaving a stale lease and no checkpoint —
+                # the textbook straggler a sibling must reclaim.
+                obs.incr("faults.injected")
+                if telemetry is not None:
+                    telemetry.flush()
+                os.kill(os.getpid(), signal.SIGKILL)
+        return True
+
     def _prepare_attempt(self, index: int, attempt: int):
         """Backoff sleep + fault-plan lookup before (re)starting a job."""
         delay = backoff_seconds(attempt, self.config.backoff_base)
@@ -567,21 +776,17 @@ class Engine:
     def _fail_job(
         self,
         specs: List[RunSpec],
-        jobs_dir: str,
         attempts: Dict[int, int],
-        pending: deque,
+        queue: _JobQueue,
         outcome: CampaignOutcome,
         index: int,
         reason: str,
         detail: str = "",
     ) -> None:
         """Record a failed attempt: retry (bounded) or quarantine."""
+        assert self.store is not None
         attempts[index] = attempts.get(index, 0) + 1
-        path = self._job_path(jobs_dir, index)
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        self.store.discard_job(index)
         if attempts[index] <= self.config.max_retries:
             outcome.retries += 1
             obs.incr("engine.retries")
@@ -592,7 +797,9 @@ class Engine:
                 attempt=attempts[index],
                 reason=reason,
             )
-            pending.append(index)
+            # The lease is kept across retries — the next launch
+            # refreshes it in place.
+            queue.requeue(index)
             self._sync_hub(outcome)
             return
         failure = JobFailure(
@@ -607,16 +814,15 @@ class Engine:
         obs.event(
             "engine.quarantine", job=index, label=failure.label, reason=reason
         )
-        if self.campaign_dir is not None:
-            atomic_write_json(self._quarantine_path(index), failure.to_dict())
+        self.store.write_quarantine(index, failure.to_dict())
+        self.store.release(index)
         self._sync_hub(outcome)
 
     def _finish_job(
         self,
         specs: List[RunSpec],
-        jobs_dir: str,
         attempts: Dict[int, int],
-        pending: deque,
+        queue: _JobQueue,
         outcome: CampaignOutcome,
         telemetry,
         index: int,
@@ -628,17 +834,17 @@ class Engine:
         backends persist before adopting, so a crash at any point
         leaves a resumable campaign.
         """
-        path = self._job_path(jobs_dir, index)
+        assert self.store is not None
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
+            payload = self.store.read_job(index)
+            if payload is None:
+                raise ValueError("checkpoint missing after worker exit")
             result = result_from_payload(specs[index], payload)
         except (ValueError, KeyError, TypeError, OSError) as exc:
             self._fail_job(
                 specs,
-                jobs_dir,
                 attempts,
-                pending,
+                queue,
                 outcome,
                 index,
                 "corrupt-payload",
@@ -665,17 +871,19 @@ class Engine:
         if fault is not None:
             # Injected engine death: flush what we have, then die the
             # hard way (SIGKILL) exactly as a crashed orchestrator
-            # would — the resume path must make this invisible.
+            # would — the resume path must make this invisible.  The
+            # lease is deliberately not released: a dead engine
+            # wouldn't have, either.
             obs.incr("faults.injected")
             if telemetry is not None:
                 telemetry.flush()
             os.kill(os.getpid(), signal.SIGKILL)
+        self.store.release(index)
 
     def _supervise(
         self,
         specs: List[RunSpec],
-        jobs_dir: str,
-        pending: deque,
+        queue: _JobQueue,
         outcome: CampaignOutcome,
     ) -> None:
         """Per-job-spawn supervision loop with timeout and retry."""
@@ -689,10 +897,10 @@ class Engine:
         attempts: Dict[int, int] = {}
         running: Dict[int, _Running] = {}
 
-        def start(index: int) -> None:
+        def launch(index: int) -> None:
             attempt = attempts.get(index, 0)
             fault = self._prepare_attempt(index, attempt)
-            path = self._job_path(jobs_dir, index)
+            path = self.store.job_path(index)
             process = context.Process(
                 target=_job_worker,
                 args=(specs[index], path, fault, telemetry is not None),
@@ -707,61 +915,67 @@ class Engine:
 
         def fail(index: int, reason: str, detail: str = "") -> None:
             self._fail_job(
-                specs, jobs_dir, attempts, pending, outcome, index, reason, detail
+                specs, attempts, queue, outcome, index, reason, detail
             )
 
-        while pending or running:
-            while pending and len(running) < config.n_jobs:
-                start(pending.popleft())
-            self._sync_hub(outcome, running=len(running))
-            progressed = False
-            for index in list(running):
-                slot = running[index]
-                process = slot.process
-                if process.is_alive():
-                    if (
-                        slot.deadline is not None
-                        and time.monotonic() > slot.deadline
-                    ):
-                        process.kill()
-                        process.join()
-                        process.close()
-                        del running[index]
-                        outcome.timeouts += 1
-                        obs.incr("engine.timeouts")
-                        fail(
+        try:
+            while queue or running:
+                while len(running) < config.n_jobs:
+                    index = queue.next_index()
+                    if index is None:
+                        break
+                    if self._admit(specs, index, outcome, queue, telemetry):
+                        launch(index)
+                self.store.renew_held()
+                self._sync_hub(outcome, running=len(running))
+                progressed = False
+                for index in list(running):
+                    slot = running[index]
+                    process = slot.process
+                    if process.is_alive():
+                        if (
+                            slot.deadline is not None
+                            and time.monotonic() > slot.deadline
+                        ):
+                            process.kill()
+                            process.join()
+                            process.close()
+                            del running[index]
+                            outcome.timeouts += 1
+                            obs.incr("engine.timeouts")
+                            fail(
+                                index,
+                                "timeout",
+                                detail=f"exceeded {config.job_timeout}s",
+                            )
+                            progressed = True
+                        continue
+                    process.join()
+                    exitcode = process.exitcode
+                    process.close()
+                    del running[index]
+                    progressed = True
+                    if exitcode == 0:
+                        self._finish_job(
+                            specs,
+                            attempts,
+                            queue,
+                            outcome,
+                            telemetry,
                             index,
-                            "timeout",
-                            detail=f"exceeded {config.job_timeout}s",
+                            slot.attempt,
                         )
-                        progressed = True
-                    continue
-                process.join()
-                exitcode = process.exitcode
-                process.close()
-                del running[index]
-                progressed = True
-                if exitcode == 0:
-                    self._finish_job(
-                        specs,
-                        jobs_dir,
-                        attempts,
-                        pending,
-                        outcome,
-                        telemetry,
-                        index,
-                        slot.attempt,
-                    )
-                else:
-                    fail(index, f"worker-exit:{exitcode}")
-            if not progressed and running:
-                time.sleep(config.poll_interval)
+                    else:
+                        fail(index, f"worker-exit:{exitcode}")
+                if not progressed and (running or queue):
+                    time.sleep(config.poll_interval)
+        finally:
+            self.store.release_all()
 
     def _supervise_pool(
         self,
         specs: List[RunSpec],
-        jobs_dir: str,
-        pending: deque,
+        queue: _JobQueue,
         outcome: CampaignOutcome,
     ) -> None:
         """Warm-pool supervision: same retry/timeout/quarantine semantics.
@@ -782,11 +996,12 @@ class Engine:
 
         def fail(index: int, reason: str, detail: str = "") -> None:
             self._fail_job(
-                specs, jobs_dir, attempts, pending, outcome, index, reason, detail
+                specs, attempts, queue, outcome, index, reason, detail
             )
 
+        backlog = len(queue.pending) + len(queue.foreign)
         pool = WorkerPool(
-            min(config.n_jobs, max(1, len(pending))),
+            min(config.n_jobs, max(1, backlog)),
             memo_capacity=config.memo_capacity,
             memo_dir=config.memo_dir,
             capture_telemetry=telemetry is not None,
@@ -795,9 +1010,13 @@ class Engine:
             metrics_interval=0.2 if self._hub is not None else None,
         )
         try:
-            while pending or running:
-                while pending and pool.has_idle():
-                    index = pending.popleft()
+            while queue or running:
+                while pool.has_idle():
+                    index = queue.next_index()
+                    if index is None:
+                        break
+                    if not self._admit(specs, index, outcome, queue, telemetry):
+                        continue
                     attempt = attempts.get(index, 0)
                     fault = self._prepare_attempt(index, attempt)
                     pool.submit(index, specs[index], attempt, fault)
@@ -806,23 +1025,21 @@ class Engine:
                         if config.job_timeout is not None
                         else None
                     )
+                self.store.renew_held()
                 self._sync_hub(outcome, running=len(running))
                 for event in pool.wait(config.poll_interval):
                     running.pop(event.index, None)
                     if event.kind == "ok":
-                        path = self._job_path(jobs_dir, event.index)
                         if event.raw is not None:
                             # injected corruption: persist the same
                             # garbage the spawn worker writes
-                            with open(path, "w") as handle:
-                                handle.write(event.raw)
+                            self.store.write_job_raw(event.index, event.raw)
                         else:
-                            atomic_write_json(path, event.payload)
+                            self.store.write_job(event.index, event.payload)
                         self._finish_job(
                             specs,
-                            jobs_dir,
                             attempts,
-                            pending,
+                            queue,
                             outcome,
                             telemetry,
                             event.index,
@@ -846,6 +1063,7 @@ class Engine:
                         )
         finally:
             pool.close()
+            self.store.release_all()
 
 
 # ======================================================================
@@ -913,7 +1131,10 @@ def resume_campaign(
 
     Rebuilds the spec list from the invocation recorded in
     ``campaign.json``; completed jobs are adopted from their checkpoint
-    files (never re-executed), the rest run to completion.
+    files (never re-executed), the rest run to completion.  A shard
+    directory resumes as that shard (identity comes from the manifest
+    unless the caller's config already carries one), and a shared
+    directory resumes with the shared store.
     """
     manifest = _load_manifest(campaign_dir)
     invocation = manifest.get("invocation")
@@ -921,6 +1142,21 @@ def resume_campaign(
         raise CampaignError(
             f"{campaign_dir} records no invocation; it was not created by "
             "`repro run` — resume it by re-running the original engine call"
+        )
+    config = config or EngineConfig()
+    recorded_engine = manifest.get("engine") or {}
+    if recorded_engine.get("store") == "shared" and config.store == "local":
+        config = dataclasses.replace(config, store="shared")
+    shard = manifest.get("shard") or {}
+    if (
+        config.shard_index is None
+        and shard.get("index") is not None
+        and shard.get("count")
+    ):
+        config = dataclasses.replace(
+            config,
+            shard_index=int(shard["index"]),
+            shard_count=int(shard["count"]),
         )
     return run_experiment_campaign(
         invocation["experiment"],
@@ -939,9 +1175,14 @@ class CampaignStatus:
     campaign_dir: str
     invocation: Optional[Dict[str, Any]]
     total: int
+    shard: Optional[Dict[str, Any]] = None
     done: List[str] = field(default_factory=list)
+    running: List[str] = field(default_factory=list)
     pending: List[str] = field(default_factory=list)
     quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-shard progress rows ({"shard", "done", "total", "here"})
+    #: when the manifest records a shard count > 1
+    per_shard: List[Dict[str, Any]] = field(default_factory=list)
 
     def render(self) -> str:
         header = f"campaign {self.campaign_dir}"
@@ -951,13 +1192,24 @@ class CampaignStatus:
                 f" (scale={self.invocation.get('scale')},"
                 f" seed={self.invocation.get('base_seed')})"
             )
+        if self.shard and self.shard.get("count"):
+            index = self.shard.get("index")
+            where = "shared dir" if index is None else f"shard {index}"
+            header += f" [{where} of {self.shard['count']}]"
         rows = [
             ["done", len(self.done)],
+            ["running", len(self.running)],
             ["pending", len(self.pending)],
             ["quarantined", len(self.quarantined)],
             ["total", self.total],
         ]
         lines = [reporting.format_table(["state", "jobs"], rows, title=header)]
+        for row in self.per_shard:
+            marker = "  <- this directory" if row.get("here") else ""
+            lines.append(
+                f"  shard {row['shard']}: {row['done']}/{row['total']} "
+                f"done{marker}"
+            )
         for failure in self.quarantined:
             lines.append(
                 f"  quarantined {failure.get('label', '?')}: "
@@ -968,24 +1220,64 @@ class CampaignStatus:
 
 
 def campaign_status(campaign_dir: str) -> CampaignStatus:
-    """Inspect a checkpoint directory without executing anything."""
+    """Inspect a checkpoint directory without executing anything.
+
+    A job counts as *running* only while a live (unexpired) lease
+    covers it; a leased-but-unclaimed job — its holder died and the
+    lease expired, or a ghost lease was left behind — is *pending*,
+    exactly what an engine claiming work would conclude.
+    """
     manifest = _load_manifest(campaign_dir)
     jobs = manifest.get("jobs", [])
+    shard = manifest.get("shard")
     status = CampaignStatus(
         campaign_dir=campaign_dir,
         invocation=manifest.get("invocation"),
         total=len(jobs),
+        shard=shard,
     )
+    # A plain local dir has no leases/ directory, so lease_info is
+    # None for every job and the lease classification is a no-op.
+    leases = SharedDirStore(campaign_dir)
     jobs_dir = os.path.join(campaign_dir, _JOBS_DIR)
     quarantine_dir = os.path.join(campaign_dir, _QUARANTINE_DIR)
-    for job in jobs:
+    now = time.time()
+    states: List[str] = []
+    for index, job in enumerate(jobs):
         job_id = job["id"]
         label = job.get("label", job_id)
         if os.path.exists(os.path.join(jobs_dir, f"{job_id}.json")):
             status.done.append(label)
+            states.append("done")
         elif os.path.exists(os.path.join(quarantine_dir, f"{job_id}.json")):
             with open(os.path.join(quarantine_dir, f"{job_id}.json")) as handle:
                 status.quarantined.append(json.load(handle))
+            states.append("quarantined")
         else:
-            status.pending.append(label)
+            info = leases.lease_info(index)
+            if info is not None and not info.expired(now):
+                status.running.append(label)
+                states.append("running")
+            else:
+                status.pending.append(label)
+                states.append("pending")
+    count = (shard or {}).get("count")
+    if count and count > 1:
+        here = (shard or {}).get("index")
+        for shard_id in range(count):
+            members = [
+                position
+                for position, job in enumerate(jobs)
+                if shard_of(job["fingerprint"], count) == shard_id
+            ]
+            status.per_shard.append(
+                {
+                    "shard": shard_id,
+                    "done": sum(
+                        1 for position in members if states[position] == "done"
+                    ),
+                    "total": len(members),
+                    "here": here == shard_id,
+                }
+            )
     return status

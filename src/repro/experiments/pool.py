@@ -465,10 +465,23 @@ def _pool_worker(
         with send_lock:
             results.send(message)
 
+    # Under the fork start method every worker inherits its siblings'
+    # pipe ends, so a SIGKILLed pool parent never produces an EOF on
+    # ``tasks`` — the write end survives in the other orphans.  Poll
+    # with a timeout and watch for re-parenting instead: a worker whose
+    # parent died exits on its own rather than lingering forever.
+    parent = os.getppid()
+    orphaned = False
     while True:
         try:
+            while not tasks.poll(1.0):
+                if os.getppid() != parent:
+                    orphaned = True
+                    break
+            if orphaned:
+                break
             message = tasks.recv()
-        except EOFError:
+        except (EOFError, OSError):
             break
         if message is None:
             break

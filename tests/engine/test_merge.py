@@ -1,0 +1,224 @@
+"""Edge cases of ``merge_campaigns`` / ``repro merge-campaign``.
+
+The happy path (four shard directories joining byte-identical to a
+serial run) lives in ``test_sharding.py``; here the merge is driven
+through its failure and degenerate modes on small two-job campaigns:
+empty source directories, duplicate checkpoints (identical payloads
+deduped, divergent ones rejected), quarantined jobs present in only
+some shards, partial shard sets, and mismatched campaigns — plus the
+CLI exit codes that report them.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro import faults, workloads
+from repro.__main__ import main
+from repro.core.config import AlgorithmConfig
+from repro.experiments.engine import Engine, EngineConfig
+from repro.experiments.runner import repeat_specs
+from repro.experiments.store import (
+    CampaignError,
+    CampaignMismatch,
+    atomic_write_json,
+    merge_campaigns,
+    normalized_job_payload,
+)
+
+
+def _specs(base_seed=7):
+    target = workloads.get("cos", n_inputs=6)
+    return repeat_specs("dalta", target, AlgorithmConfig.fast(), 2, base_seed)
+
+
+def _run(campaign_dir, base_seed=7, fault_text=None, **config):
+    engine = Engine(
+        str(campaign_dir),
+        EngineConfig(max_retries=0, **config),
+        faults.FaultPlan.parse(fault_text) if fault_text else None,
+    )
+    return engine.run(_specs(base_seed))
+
+
+def _job_payload(campaign_dir, index=0):
+    path = os.path.join(str(campaign_dir), "jobs", f"job-{index:05d}.json")
+    with open(path) as handle:
+        return path, json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def complete_dir(tmp_path_factory):
+    campaign_dir = tmp_path_factory.mktemp("merge") / "complete"
+    outcome = _run(campaign_dir)
+    assert outcome.complete
+    return campaign_dir
+
+
+class TestMergeSources:
+    def test_empty_dir_is_not_a_campaign(self, tmp_path, complete_dir):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(CampaignError, match="not a campaign directory"):
+            merge_campaigns([str(empty)], str(tmp_path / "out"))
+        # even as a second source alongside a valid one
+        with pytest.raises(CampaignError, match="not a campaign directory"):
+            merge_campaigns(
+                [str(complete_dir), str(empty)], str(tmp_path / "out2")
+            )
+
+    def test_missing_dir_is_not_a_campaign(self, tmp_path):
+        with pytest.raises(CampaignError, match="not a campaign directory"):
+            merge_campaigns([str(tmp_path / "nope")], str(tmp_path / "out"))
+
+    def test_mismatched_campaigns_rejected(self, tmp_path, complete_dir):
+        other = tmp_path / "other-seed"
+        assert _run(other, base_seed=8).complete
+        with pytest.raises(CampaignMismatch):
+            merge_campaigns(
+                [str(complete_dir), str(other)], str(tmp_path / "out")
+            )
+
+
+class TestDuplicateCheckpoints:
+    def test_identical_payloads_deduped(self, tmp_path, complete_dir):
+        twin = tmp_path / "twin"
+        assert _run(twin).complete  # same campaign executed twice
+        dest = tmp_path / "merged"
+        outcome = merge_campaigns([str(complete_dir), str(twin)], str(dest))
+        assert outcome.complete
+        assert outcome.merged == 2
+        assert outcome.duplicates == 2
+        # the merged copies are the first source's, byte for byte
+        for index in range(2):
+            _, kept = _job_payload(dest, index)
+            _, original = _job_payload(complete_dir, index)
+            assert kept == original
+            # and the twin really was equivalent modulo timings
+            _, duplicate = _job_payload(twin, index)
+            assert normalized_job_payload(duplicate) == normalized_job_payload(
+                original
+            )
+
+    def test_divergence_beyond_timings_rejected(self, tmp_path, complete_dir):
+        twin = tmp_path / "tampered"
+        assert _run(twin).complete
+        path, payload = _job_payload(twin, 0)
+        payload["med"] = float(payload["med"]) + 1.0
+        atomic_write_json(path, payload)
+        with pytest.raises(CampaignError, match="beyond timings"):
+            merge_campaigns(
+                [str(complete_dir), str(twin)], str(tmp_path / "out")
+            )
+
+    def test_timing_only_divergence_is_fine(self, tmp_path, complete_dir):
+        twin = tmp_path / "slower"
+        assert _run(twin).complete
+        path, payload = _job_payload(twin, 0)
+        payload["elapsed_seconds"] = 9999.0
+        atomic_write_json(path, payload)
+        outcome = merge_campaigns(
+            [str(complete_dir), str(twin)], str(tmp_path / "out")
+        )
+        assert outcome.duplicates == 2
+
+
+class TestQuarantineMerging:
+    @pytest.fixture()
+    def quarantined_dir(self, tmp_path):
+        campaign_dir = tmp_path / "hurt"
+        outcome = _run(campaign_dir, fault_text="crash@0#*")
+        assert not outcome.complete
+        assert len(outcome.quarantined) == 1
+        return campaign_dir
+
+    def test_quarantine_only_source_stays_quarantined(
+        self, tmp_path, quarantined_dir
+    ):
+        dest = tmp_path / "merged"
+        outcome = merge_campaigns([str(quarantined_dir)], str(dest))
+        assert not outcome.complete
+        assert outcome.merged == 1
+        assert outcome.quarantined == 1
+        assert os.path.exists(
+            os.path.join(str(dest), "quarantine", "job-00000.json")
+        )
+        assert "resume the merged campaign" in outcome.render()
+
+    def test_sibling_checkpoint_wins_over_quarantine(
+        self, tmp_path, quarantined_dir, complete_dir
+    ):
+        dest = tmp_path / "merged"
+        outcome = merge_campaigns(
+            [str(quarantined_dir), str(complete_dir)], str(dest)
+        )
+        assert outcome.complete
+        assert outcome.merged == 2
+        assert outcome.quarantined == 0
+        assert not os.path.exists(
+            os.path.join(str(dest), "quarantine", "job-00000.json")
+        )
+
+
+class TestPartialShardSets:
+    def test_missing_jobs_reported(self, tmp_path, complete_dir):
+        partial = tmp_path / "partial"
+        shutil.copytree(str(complete_dir), str(partial))
+        os.unlink(os.path.join(str(partial), "jobs", "job-00001.json"))
+        dest = tmp_path / "merged"
+        outcome = merge_campaigns([str(partial)], str(dest))
+        assert not outcome.complete
+        assert outcome.merged == 1
+        assert len(outcome.missing) == 1
+        assert "partial shard set" in outcome.render()
+
+    def test_remerging_the_missing_shard_completes(
+        self, tmp_path, complete_dir
+    ):
+        partial = tmp_path / "partial"
+        shutil.copytree(str(complete_dir), str(partial))
+        os.unlink(os.path.join(str(partial), "jobs", "job-00001.json"))
+        dest = tmp_path / "merged"
+        assert not merge_campaigns([str(partial)], str(dest)).complete
+        # a second merge into the same dest fills the hole
+        outcome = merge_campaigns([str(complete_dir)], str(dest))
+        assert outcome.complete
+        assert outcome.missing == []
+
+
+class TestMergeCommand:
+    def test_merge_exit_codes(self, tmp_path, complete_dir, capsys):
+        dest = tmp_path / "merged"
+        assert (
+            main(
+                [
+                    "merge-campaign",
+                    str(complete_dir),
+                    "--into",
+                    str(dest),
+                ]
+            )
+            == 0
+        )
+        assert "merged" in capsys.readouterr().out
+
+    def test_partial_merge_exits_3(self, tmp_path, complete_dir, capsys):
+        partial = tmp_path / "partial"
+        shutil.copytree(str(complete_dir), str(partial))
+        os.unlink(os.path.join(str(partial), "jobs", "job-00000.json"))
+        code = main(
+            ["merge-campaign", str(partial), "--into", str(tmp_path / "m")]
+        )
+        assert code == 3
+        assert "partial shard set" in capsys.readouterr().out
+
+    def test_invalid_source_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(
+            ["merge-campaign", str(empty), "--into", str(tmp_path / "m")]
+        )
+        assert code == 2
+        assert "not a campaign directory" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Shard provenance stamping of benchmark snapshots (ISSUE 7 satellite).
+
+A ``repro run --shard i/n`` process exports ``REPRO_SHARD`` while the
+campaign is in flight; ``snapshot_provenance()`` stamps it into any
+benchmark snapshot produced by that process, and the perf-regression
+ratchet refuses such snapshots — one shard's numbers are not
+comparable to whole-campaign baselines.
+"""
+
+import os
+
+from benchmarks import snapshot_provenance
+from benchmarks.check_regression import Ratchet, _check_provenance
+from repro import workloads
+from repro.core.config import AlgorithmConfig
+from repro.experiments.engine import SHARD_ENV_VAR, Engine, EngineConfig
+from repro.experiments.runner import repeat_specs
+
+
+class TestSnapshotProvenance:
+    def test_unsharded_process_stamps_null(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        assert snapshot_provenance()["shard"] is None
+
+    def test_sharded_process_stamps_identity(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "2/4")
+        assert snapshot_provenance()["shard"] == "2/4"
+
+    def test_engine_clears_the_export_after_the_run(self, tmp_path):
+        target = workloads.get("cos", n_inputs=6)
+        specs = repeat_specs("dalta", target, AlgorithmConfig.fast(), 1, 7)
+        engine = Engine(
+            str(tmp_path / "campaign"),
+            EngineConfig(shard_index=0, shard_count=1),
+        )
+        outcome = engine.run(specs)
+        assert outcome.complete
+        assert SHARD_ENV_VAR not in os.environ
+
+
+class TestRatchetRejectsShardSnapshots:
+    def test_null_shard_passes(self):
+        ratchet = Ratchet()
+        _check_provenance(
+            ratchet, "table2", {"provenance": {"shard": None}}, "fresh"
+        )
+        _check_provenance(ratchet, "table2", {}, "committed")
+        assert ratchet.failed == []
+
+    def test_shard_stamp_fails_with_merge_hint(self):
+        ratchet = Ratchet()
+        _check_provenance(
+            ratchet, "table2", {"provenance": {"shard": "0/4"}}, "fresh"
+        )
+        failed = ratchet.failed
+        assert len(failed) == 1
+        assert "merge the shards" in failed[0][2]

@@ -320,3 +320,69 @@ class TestMetricsCli:
     def test_top_unreachable_endpoint_is_an_error(self, capsys):
         assert main(["top", "127.0.0.1:1", "--once"]) == 2
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestShardFlags:
+    def test_shard_parses_to_index_count(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--dir", "/tmp/c", "--shard", "2/4"]
+        )
+        assert args.shard == (2, 4)
+        assert args.store == "local"
+        assert args.lease_ttl == 30.0
+
+    def test_store_and_lease_ttl_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "table2", "--dir", "/tmp/c",
+                "--shard", "0/2", "--store", "shared", "--lease-ttl", "5",
+            ]
+        )
+        assert args.store == "shared"
+        assert args.lease_ttl == 5.0
+
+    def test_resume_accepts_shard_flags(self):
+        args = build_parser().parse_args(
+            ["resume", "/tmp/c", "--shard", "1/3", "--store", "shared"]
+        )
+        assert args.shard == (1, 3)
+
+    def test_malformed_shard_rejected(self, capsys):
+        for bad in ("2", "x/4", "2/x", "2-4", "/4", "2/"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "table2", "--dir", "/tmp/c", "--shard", bad]
+                )
+            assert "expected i/n" in capsys.readouterr().err
+
+    def test_out_of_range_shard_rejected(self, capsys):
+        for bad in ("4/4", "5/4", "-1/4", "0/0", "0/-2"):
+            with pytest.raises(SystemExit):
+                # --shard=-1/4 form: a leading dash must not read as a flag
+                build_parser().parse_args(
+                    ["run", "table2", "--dir", "/tmp/c", f"--shard={bad}"]
+                )
+            assert "shard index must be in [0, n)" in capsys.readouterr().err
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "table2", "--dir", "/tmp/c", "--store", "s3"]
+            )
+
+
+class TestMergeCampaignParser:
+    def test_requires_into(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge-campaign", "/tmp/a"])
+
+    def test_accepts_many_sources(self):
+        args = build_parser().parse_args(
+            ["merge-campaign", "/a", "/b", "/c", "--into", "/out"]
+        )
+        assert args.sources == ["/a", "/b", "/c"]
+        assert args.into == "/out"
+
+    def test_requires_at_least_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge-campaign", "--into", "/out"])
