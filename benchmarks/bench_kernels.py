@@ -7,6 +7,7 @@ kernel used by every energy measurement) are tracked here.
 
 import numpy as np
 
+from repro import caching
 from repro.boolean import Partition, random_partition
 from repro.core import cost_vectors_fixed, opt_for_part, opt_for_part_many
 from repro.hardware import LutRam, ToggleLedger
@@ -67,6 +68,53 @@ def test_opt_for_part_many_neighbourhood(benchmark):
             n_initial_patterns=30,
             rng=np.random.default_rng(0),
         )
+
+    results = benchmark(run)
+    assert len(results) == len(partitions)
+
+
+def test_opt_for_part_many_packed(benchmark):
+    """The SA-neighbourhood batch with the packed kernel tier engaged."""
+    costs, p, _, n = _cost_setup(12, 7)
+    sample_rng = np.random.default_rng(1)
+    partitions = [random_partition(n, 7, sample_rng) for _ in range(8)]
+
+    def run():
+        with caching.packed_kernel(True):
+            return opt_for_part_many(
+                costs,
+                p,
+                partitions,
+                n,
+                n_initial_patterns=30,
+                rng=np.random.default_rng(0),
+            )
+
+    results = benchmark(run)
+    assert len(results) == len(partitions)
+
+
+def test_opt_for_part_many_reference(benchmark):
+    """The same batch on the pure reference sweep (all fast paths off).
+
+    The committed ``BENCH_packed.json`` ratchet divides this phase by
+    the packed one; keeping both shapes here lets a local run
+    cross-check the snapshot's kernel-level ratio.
+    """
+    costs, p, _, n = _cost_setup(12, 7)
+    sample_rng = np.random.default_rng(1)
+    partitions = [random_partition(n, 7, sample_rng) for _ in range(8)]
+
+    def run():
+        with caching.fast_paths(False):
+            return opt_for_part_many(
+                costs,
+                p,
+                partitions,
+                n,
+                n_initial_patterns=30,
+                rng=np.random.default_rng(0),
+            )
 
     results = benchmark(run)
     assert len(results) == len(partitions)

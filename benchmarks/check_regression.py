@@ -1,9 +1,9 @@
 """Perf-regression ratchet: fresh snapshots vs the committed baselines.
 
 Runs the same seeded protocols as ``snapshot_table2`` /
-``snapshot_parallel`` (or takes pre-generated snapshots via
-``--fresh-*``) and compares them against the committed
-``BENCH_table2.json`` / ``BENCH_parallel.json``:
+``snapshot_parallel`` / ``snapshot_packed`` (or takes pre-generated
+snapshots via ``--fresh-*``) and compares them against the committed
+``BENCH_table2.json`` / ``BENCH_parallel.json`` / ``BENCH_packed.json``:
 
 * **MED drift** — every fresh per-benchmark MED row must be
   byte-identical to the committed row.  The per-benchmark seeding is
@@ -12,7 +12,8 @@ Runs the same seeded protocols as ``snapshot_table2`` /
 * **Speed ratios** — machine-independent ratios must not regress by
   more than ``--tolerance`` (default 25%): the fast-vs-reference
   ratio and the warm-memo replay speedup from the table2 snapshot,
-  and the warm-pool-vs-spawn campaign speedup from the parallel one.
+  the warm-pool-vs-spawn campaign speedup from the parallel one, and
+  the packed-tier OptForPart-phase speedups from the packed one.
 * **Phase timings** — per-phase call *counts* must match exactly when
   the fresh run covers the committed suite (the protocol is
   deterministic), and no phase's per-call mean may drift more than
@@ -280,6 +281,40 @@ def check_parallel(
         )
 
 
+def check_packed(
+    ratchet: Ratchet,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    tolerance: float,
+) -> None:
+    _check_provenance(ratchet, "packed", committed, "committed")
+    _check_provenance(ratchet, "packed", fresh, "fresh")
+    _check_meds(ratchet, "packed", committed, fresh)
+    ratchet.check(
+        "packed: three-mode byte identity",
+        bool(fresh.get("byte_identical")),
+        "packed/fast/reference MEDs all match"
+        if fresh.get("byte_identical")
+        else "fresh snapshot did not assert byte identity",
+    )
+    engaged = fresh.get("engagement", {}).get("packed_calls")
+    ratchet.check(
+        "packed: eligibility-gate engagement",
+        bool(engaged),
+        f"{engaged} kernel calls ran the packed sweep"
+        if engaged
+        else "the gate never engaged — the snapshot measured nothing",
+    )
+    for key in ("opt_phase_vs_reference", "opt_phase_vs_fast"):
+        _check_ratio(
+            ratchet,
+            f"packed: speedup [{key}]",
+            committed.get("speedup", {}).get(key),
+            fresh.get("speedup", {}).get(key),
+            tolerance,
+        )
+
+
 def _generate(kind: str, committed: Dict[str, Any], args, out: Path) -> None:
     """Run the matching snapshot script in-process, writing ``out``."""
     benchmarks = args.benchmarks or ",".join(committed["benchmarks"])
@@ -292,6 +327,8 @@ def _generate(kind: str, committed: Dict[str, Any], args, out: Path) -> None:
     ]
     if kind == "table2":
         from benchmarks.snapshot_table2 import main
+    elif kind == "packed":
+        from benchmarks.snapshot_packed import main
     else:
         from benchmarks.snapshot_parallel import main
 
@@ -332,6 +369,16 @@ def main(argv=None) -> int:
         help="pre-generated fresh parallel snapshot (skips the run)",
     )
     parser.add_argument(
+        "--packed",
+        default=str(REPO_ROOT / "BENCH_packed.json"),
+        help="committed packed-kernel baseline",
+    )
+    parser.add_argument(
+        "--fresh-packed",
+        default=None,
+        help="pre-generated fresh packed snapshot (skips the run)",
+    )
+    parser.add_argument(
         "--benchmarks",
         default=None,
         help="comma-separated subset for the fresh runs "
@@ -350,6 +397,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--skip-parallel", action="store_true", help="only check table2"
+    )
+    parser.add_argument(
+        "--skip-packed", action="store_true", help="skip the packed baseline"
     )
     args = parser.parse_args(argv)
 
@@ -373,6 +423,15 @@ def main(argv=None) -> int:
                 _generate("parallel", committed, args, out)
                 fresh = _load(out)
             check_parallel(ratchet, committed, fresh, args.tolerance)
+        if not args.skip_packed:
+            committed = _load(Path(args.packed))
+            if args.fresh_packed:
+                fresh = _load(Path(args.fresh_packed))
+            else:
+                out = Path(tmp) / "packed.json"
+                _generate("packed", committed, args, out)
+                fresh = _load(out)
+            check_packed(ratchet, committed, fresh, args.tolerance)
 
     print(ratchet.render())
     return 1 if ratchet.failed else 0

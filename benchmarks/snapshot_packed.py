@@ -1,0 +1,207 @@
+"""Generate ``BENCH_packed.json``: the packed-kernel-tier snapshot.
+
+The packed OptForPart tier restructures the kernel's arithmetic under
+a dyadic-exactness gate (see docs/performance.md), so its snapshot is
+a three-way differential of the full Table-II protocol:
+
+* **packed** — fast paths on, ``REPRO_PACKED_KERNEL`` on (the
+  shipping default);
+* **fast** — fast paths on, packed tier off (the previous fast
+  kernel, isolating the tier's own contribution);
+* **reference** — ``fast_paths(False)``: the serial reference
+  implementation every fast path is pinned against.
+
+Every pass runs under telemetry and reports both its wall clock and
+its OptForPart phase total (the sum of ``opt.for_part*`` span
+timings — the quantity the tier accelerates).  The per-benchmark MEDs
+of all three modes are asserted **byte-identical**: the packed sweep
+must never change a single output bit.  The headline ratio is
+``speedup.opt_phase_vs_reference`` (min-of-repeats on both sides);
+``opt_phase_vs_fast`` separates the tier's gain from the older
+batching fast paths.  ``engagement`` records how many kernel calls the
+eligibility gate accepted — a snapshot where the gate declined the
+protocol's uniform-distribution instances would be measuring nothing.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.snapshot_packed \
+        --scale default --benchmarks cos --repeats 3 --out BENCH_packed.json
+
+CI runs the smoke scale as a <60s packed-differential gate; the
+committed default-scale snapshot is ratcheted by
+``benchmarks.check_regression`` (byte-identical MEDs, speedup ratio
+floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro import caching, obs
+from repro.experiments import ExperimentScale, run_table2
+
+from benchmarks import snapshot_provenance
+
+#: span-name prefix of the phase the packed tier accelerates
+_OPT_PHASE = "opt.for_part"
+
+
+def _meds(result) -> list:
+    return [
+        {"benchmark": row.benchmark, "dalta": row.dalta, "bssa": row.bssa}
+        for row in result.rows
+    ]
+
+
+def _opt_phase_total(phase_timings: dict) -> float:
+    return sum(
+        stats["total"]
+        for name, stats in phase_timings.items()
+        if name.startswith(_OPT_PHASE)
+    )
+
+
+def _run_pass(scale, base_seed: int):
+    """One cold telemetered protocol pass.
+
+    Returns ``(wall_seconds, opt_phase_seconds, result, summary)``.
+    The wall clock includes telemetry overhead, but all three modes
+    pay it identically, so the recorded ratios stay meaningful.
+    """
+    caching.clear_caches()
+    sink = obs.MemorySink()
+    start = time.perf_counter()
+    with obs.session(sink):
+        result = run_table2(scale, base_seed=base_seed)
+    wall = time.perf_counter() - start
+    summary = obs.summarize.summarize(sink.records)
+    return wall, _opt_phase_total(summary.phase_timings()), result, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("smoke", "default"), default="smoke")
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated subset (default: the scale's full suite)",
+    )
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timed repetitions per mode (min is reported)",
+    )
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    factories = {"smoke": ExperimentScale.smoke, "default": ExperimentScale.default}
+    scale = factories[args.scale]()
+    if args.benchmarks:
+        scale = replace(scale, benchmarks=tuple(args.benchmarks.split(",")))
+
+    snapshot = {
+        "protocol": "table2-packed",
+        "provenance": snapshot_provenance(),
+        "scale": scale.name,
+        "n_inputs": scale.n_inputs,
+        "n_runs": scale.n_runs,
+        "benchmarks": list(scale.benchmarks),
+        "base_seed": args.base_seed,
+        "repeats": args.repeats,
+    }
+
+    modes = {
+        "packed": {"walls": [], "phases": [], "result": None, "summary": None},
+        "fast": {"walls": [], "phases": [], "result": None, "summary": None},
+        "reference": {"walls": [], "phases": [], "result": None, "summary": None},
+    }
+    for _ in range(args.repeats):
+        with caching.packed_kernel(True):
+            wall, phase, result, summary = _run_pass(scale, args.base_seed)
+        modes["packed"]["walls"].append(wall)
+        modes["packed"]["phases"].append(phase)
+        modes["packed"].update(result=result, summary=summary)
+        with caching.packed_kernel(False):
+            wall, phase, result, summary = _run_pass(scale, args.base_seed)
+        modes["fast"]["walls"].append(wall)
+        modes["fast"]["phases"].append(phase)
+        modes["fast"].update(result=result, summary=summary)
+        with caching.fast_paths(False):
+            wall, phase, result, summary = _run_pass(scale, args.base_seed)
+        modes["reference"]["walls"].append(wall)
+        modes["reference"]["phases"].append(phase)
+        modes["reference"].update(result=result, summary=summary)
+
+    packed_meds = _meds(modes["packed"]["result"])
+    for name in ("fast", "reference"):
+        if _meds(modes[name]["result"]) != packed_meds:
+            print(
+                f"FAIL: packed tier changed the protocol outputs vs {name}",
+                file=sys.stderr,
+            )
+            print(json.dumps(packed_meds, indent=2), file=sys.stderr)
+            print(
+                json.dumps(_meds(modes[name]["result"]), indent=2),
+                file=sys.stderr,
+            )
+            return 1
+    snapshot["meds"] = packed_meds
+    snapshot["byte_identical"] = True
+
+    descriptions = {
+        "packed": "fast paths + packed kernel tier (shipping default)",
+        "fast": "fast paths with the packed tier disabled",
+        "reference": "fast_paths(False): serial reference implementation",
+    }
+    for name, mode in modes.items():
+        snapshot[name] = {
+            "mode": descriptions[name],
+            "seconds": mode["walls"],
+            "min": min(mode["walls"]),
+            "opt_phase_seconds": mode["phases"],
+            "opt_phase_min": min(mode["phases"]),
+        }
+
+    packed_phase = snapshot["packed"]["opt_phase_min"]
+    snapshot["speedup"] = {
+        "opt_phase_vs_reference": snapshot["reference"]["opt_phase_min"]
+        / packed_phase,
+        "opt_phase_vs_fast": snapshot["fast"]["opt_phase_min"] / packed_phase,
+        "wall_vs_reference": snapshot["reference"]["min"]
+        / snapshot["packed"]["min"],
+    }
+
+    counters = modes["packed"]["summary"].counters
+    engaged = counters.get("opt.packed_calls", 0)
+    snapshot["engagement"] = {
+        "packed_calls": engaged,
+        "packed_ineligible": counters.get("opt.packed_ineligible", 0),
+    }
+    if not engaged:
+        print(
+            "FAIL: the eligibility gate never engaged the packed sweep — "
+            "the snapshot would be measuring the fast kernel twice",
+            file=sys.stderr,
+        )
+        return 1
+
+    snapshot["phase_timings"] = modes["packed"]["summary"].phase_timings()
+
+    rendered = json.dumps(snapshot, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ from .analysis import (
 )
 from .function import BooleanFunction
 from .partition import Partition, all_partitions, partition_count, random_partition
+from .packed import (
+    PackedTable,
+    cofactor,
+    hamming,
+    pack_bits,
+    popcount,
+    restrict,
+    unpack_bits,
+)
 from .truth_table import TwoDimensionalTable, component_matrix, from_matrix, to_matrix
 from .decomposition import (
     BoundOnlyDecomposition,
@@ -46,6 +55,13 @@ __all__ = [
     "all_partitions",
     "partition_count",
     "random_partition",
+    "PackedTable",
+    "cofactor",
+    "hamming",
+    "pack_bits",
+    "popcount",
+    "restrict",
+    "unpack_bits",
     "TwoDimensionalTable",
     "component_matrix",
     "from_matrix",

@@ -37,6 +37,9 @@ __all__ = [
     "fast_paths_enabled",
     "set_fast_paths",
     "fast_paths",
+    "packed_kernel_enabled",
+    "set_packed_kernel",
+    "packed_kernel",
     "clear_caches",
     "cache_stats",
 ]
@@ -78,6 +81,51 @@ def fast_paths(enabled: bool):
         yield
     finally:
         set_fast_paths(previous)
+
+
+def _packed_env_default() -> bool:
+    return os.environ.get("REPRO_PACKED_KERNEL", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+_packed_kernel: bool = _packed_env_default()
+
+
+def packed_kernel_enabled() -> bool:
+    """True when the bit-packed kernel tier may engage.
+
+    The packed tier is nested under :func:`fast_paths_enabled`:
+    ``REPRO_FAST_PATHS=0`` selects the reference kernels regardless of
+    this switch, and even with both switches on the packed sweep only
+    runs on instances that pass the dyadic-exactness eligibility gate
+    (see ``docs/performance.md``, "Bit-packed kernel tier").  Disable
+    with ``REPRO_PACKED_KERNEL=0`` or the :func:`packed_kernel`
+    context manager — that is the packed-on/off axis the differential
+    suites sweep.
+    """
+    return _fast_paths and _packed_kernel
+
+
+def set_packed_kernel(enabled: bool) -> bool:
+    """Set the packed-kernel switch; returns the previous value."""
+    global _packed_kernel
+    previous = _packed_kernel
+    _packed_kernel = bool(enabled)
+    return previous
+
+
+@contextmanager
+def packed_kernel(enabled: bool):
+    """Scoped override of the packed-kernel switch (used by the tests)."""
+    previous = set_packed_kernel(enabled)
+    try:
+        yield
+    finally:
+        set_packed_kernel(previous)
 
 
 class LruCache:

@@ -27,6 +27,7 @@ from .opt_for_part import (
     opt_for_part,
     opt_for_part_bto,
     opt_for_part_exhaustive,
+    opt_for_part_exhaustive_many,
     opt_for_part_many,
 )
 from .result import ApproximationResult, SearchStats
@@ -63,6 +64,7 @@ __all__ = [
     "opt_for_part",
     "opt_for_part_bto",
     "opt_for_part_exhaustive",
+    "opt_for_part_exhaustive_many",
     "opt_for_part_many",
     "ApproximationResult",
     "SearchStats",

@@ -38,12 +38,35 @@ wall clock of the search loops:
   pattern digest is what makes a hit *provably* bit-exact: the
   alternation is deterministic given ``(d0, d1, patterns)``.  The
   deterministic BTO/exhaustive variants memoise without it and hit
-  whenever a bit's context is revisited unchanged.
+  whenever a bit's context is revisited unchanged.  Pattern digests
+  are taken over the *bit-packed* form of the candidate matrix
+  (:func:`repro.boolean.packed.pack_bits`), 8x fewer bytes hashed.
+
+Bit-packed kernel tier
+----------------------
+On top of the batching, a packed fast sweep engages when (a) the
+fast-path switch is on, (b) the packed-kernel switch is on
+(``REPRO_PACKED_KERNEL``, :func:`repro.caching.packed_kernel`), and
+(c) the instance passes the *dyadic-exactness* gate of
+:func:`_packed_eligible`: a constant input distribution and
+integer-valued cost vectors small enough that every intermediate the
+kernel forms is an integer multiple of one dyadic scale below 2**53.
+Under that gate every float64 the sweep produces is exact, so the
+algebraically restructured half-steps (:class:`_PackedSweep`) —
+complement costs from hoisted row sums instead of two extra matmuls,
+zero-costs from one shared-sum matmul, pairwise type selection with
+reference tie-breaking — return bit-for-bit the reference kernel's
+patterns, types, and totals while running a fraction of its work.
+Ineligible instances (non-constant ``p``, fractional costs) silently
+take the reference sweep; ``REPRO_FAST_PATHS=0`` disables the whole
+tier.  The differential harness in ``tests/core/test_fast_paths.py``
+and ``tests/core/test_packed_kernel.py`` pins the equivalence.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -56,8 +79,9 @@ from ..boolean.decomposition import (
     DisjointDecomposition,
     RowType,
 )
+from ..boolean.packed import pack_bits
 from ..boolean.partition import Partition
-from ..boolean.truth_table import gather_index, to_matrix
+from ..boolean.truth_table import gather_index, row_col_indices, to_matrix
 from .cost import BitCosts
 
 __all__ = [
@@ -69,6 +93,7 @@ __all__ = [
     "opt_for_part_many",
     "opt_for_part_bto",
     "opt_for_part_exhaustive",
+    "opt_for_part_exhaustive_many",
 ]
 
 #: safety cap on alternation sweeps; convergence is typically < 10
@@ -96,6 +121,26 @@ _RESULT_MEMO = caching.LruCache(
     aggregate="opt.cache",
     eviction_counter="opt.memo_evictions",
 )
+
+#: (gather permutation, row index) pairs for the packed gather loop —
+#: one cache probe per item instead of two against the truth-table
+#: caches (same 1024-partition sizing rationale as those)
+_PACKED_INDEX_CACHE = caching.LruCache("opt.packed_index", maxsize=1024)
+
+
+def _packed_index(
+    partition: Partition, n_inputs: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``(gather, rows)`` index pair for the packed fast path."""
+    key = (partition, n_inputs)
+    cached = _PACKED_INDEX_CACHE.get(key)
+    if cached is None:
+        cached = (
+            gather_index(partition, n_inputs),
+            row_col_indices(partition, n_inputs)[0],
+        )
+        _PACKED_INDEX_CACHE.put(key, cached)
+    return cached
 
 
 def result_memo() -> caching.LruCache:
@@ -144,21 +189,44 @@ class OptMemo:
     stay valid.
     """
 
-    __slots__ = ("context_key",)
+    __slots__ = ("context_key", "packed_ok")
 
     def __init__(self, context_key: Tuple) -> None:
         self.context_key = context_key
+        # lazily cached packed-tier eligibility verdict for the bound
+        # (costs, p) pair — see _packed_engaged()
+        self.packed_ok: Optional[bool] = None
 
     def normal_key(
         self, partition: Partition, patterns: np.ndarray, max_sweeps: int
     ) -> Tuple:
-        digest = hashlib.sha1(np.ascontiguousarray(patterns).tobytes()).digest()
+        # digest the bit-packed candidate matrix: same information
+        # (shape is part of the key, pad bits are zero), 8x fewer bytes
+        # through sha1 per memo probe
+        return self.normal_key_packed(
+            partition, pack_bits(patterns), patterns.shape, max_sweeps
+        )
+
+    def normal_key_packed(
+        self,
+        partition: Partition,
+        packed: np.ndarray,
+        shape: Tuple[int, ...],
+        max_sweeps: int,
+    ) -> Tuple:
+        """:meth:`normal_key` from an already bit-packed pattern matrix.
+
+        The batched driver packs the whole pattern stack in one
+        :func:`pack_bits` call and hands each item's words here, so the
+        per-item key cost is one sha1 over the packed bytes.
+        """
+        digest = hashlib.sha1(packed.tobytes()).digest()
         return (
             "normal",
             self.context_key,
             partition,
             int(max_sweeps),
-            patterns.shape,
+            tuple(shape),
             digest,
         )
 
@@ -376,6 +444,310 @@ def _optimal_patterns(
     return patterns[0], totals[0]
 
 
+# ----------------------------------------------------------------------
+# Bit-packed kernel tier: the dyadic-exactness gate and the
+# restructured exact-arithmetic sweep it unlocks.
+# ----------------------------------------------------------------------
+
+
+def _packed_eligible(costs: BitCosts, p: np.ndarray) -> bool:
+    """Dyadic-exactness gate for the packed sweep.
+
+    True when every float the alternation forms is *exactly
+    representable*: the input distribution is one constant ``p0`` (a
+    dyadic rational, as every finite float is), the cost vectors are
+    non-negative integers, and the largest sum the kernel can build —
+    bounded by ``2 * odd_mantissa(p0) * (max0 + max1) * entries`` in
+    units of the dyadic scale — stays below 2**53.  Under those
+    conditions float64 arithmetic is exact in any association order,
+    so the restructured half-steps of :class:`_PackedSweep` are
+    bit-identical to the reference kernel.  Uniform distributions (the
+    protocol default) pass; truncated-Gaussian and geometric inputs
+    fall back to the reference sweep.
+    """
+    p = np.asarray(p)
+    if p.size == 0:
+        return False
+    p0 = float(p.flat[0])
+    if not (math.isfinite(p0) and p0 > 0.0):
+        return False
+    if not np.all(p == p0):
+        return False
+    c0, c1 = costs.cost0, costs.cost1
+    # integer-valued (floor == value rejects NaN; infinities die below)
+    if not (np.all(np.floor(c0) == c0) and np.all(np.floor(c1) == c1)):
+        return False
+    hi = float(c0.max()) + float(c1.max())
+    if not math.isfinite(hi) or float(c0.min()) < 0.0 or float(c1.min()) < 0.0:
+        return False
+    mantissa, _ = math.frexp(p0)
+    m_int = int(mantissa * (1 << 53))
+    m_odd = m_int >> ((m_int & -m_int).bit_length() - 1)
+    return 2 * m_odd * int(hi) * c0.shape[0] < (1 << 53)
+
+
+def _packed_engaged(
+    costs: BitCosts, p: np.ndarray, memo: Optional["OptMemo"] = None
+) -> bool:
+    """Switches + eligibility, with engagement telemetry.
+
+    The eligibility verdict depends only on ``(costs, p)``, so when the
+    caller holds an :class:`OptMemo` (which binds exactly that pair)
+    the verdict is cached on it — the gate's array scans then run once
+    per search context instead of once per kernel call.
+    """
+    if not caching.packed_kernel_enabled():
+        return False
+    if memo is not None:
+        eligible = memo.packed_ok
+        if eligible is None:
+            eligible = _packed_eligible(costs, p)
+            memo.packed_ok = eligible
+    else:
+        eligible = _packed_eligible(costs, p)
+    if obs.enabled():
+        obs.incr("opt.packed_calls" if eligible else "opt.packed_ineligible")
+    return eligible
+
+
+class _PackedSweep:
+    """Hoisted state + buffers for the packed exact-arithmetic sweep.
+
+    The entire sweep runs off ``diff = d1 - d0`` plus per-row sums —
+    the full cost matrices are never materialised.  ``diff`` turns the
+    two type-3/type-4 matmuls of the types half-step into one
+    (``pattern_cost = zc + diff @ Vᵀ``), the complement cost falls out
+    of the hoisted ``both = zc + oc`` row sums with zero matmuls
+    (``complement = both - pattern``), and the patterns half-step only
+    needs the *sign* of ``cost_zero - cost_one = (m4 - m3) @ diff`` —
+    one matmul where the reference takes four.  Each identity holds
+    *bitwise* — not just algebraically — because the eligibility gate
+    guarantees every operand and sum is an exact float.  Type and
+    pattern selection use strict comparisons so ties resolve exactly
+    like the reference kernel (first-index ``argmin``; a cost tie in
+    the patterns step picks pattern bit 0, matching the reference's
+    strict ``cost_one < cost_zero``).
+    """
+
+    __slots__ = (
+        "diff", "diff_t", "zc", "both", "m01", "b01", "ones",
+        "v", "pat", "comp", "m4", "g", "u4", "uvt",
+    )
+
+    def __init__(
+        self,
+        diff: np.ndarray,
+        zero_cost: np.ndarray,
+        one_cost: np.ndarray,
+        z: int,
+    ) -> None:
+        batch, rows, cols = diff.shape
+        self.diff = diff
+        self.diff_t = diff.transpose(0, 2, 1)
+        # the sweep works in (B, Z, rows) orientation throughout — the
+        # types come out ready for the masks and the final output with
+        # no transposes, and the row reduction runs over the contiguous
+        # last axis.  Row-state arrays carry a broadcast axis so the
+        # half-steps never rebuild views per sweep.
+        self.zc = zero_cost[:, None, :]
+        self.both = (zero_cost + one_cost)[:, None, :]
+        self.m01 = np.minimum(zero_cost, one_cost)[:, None, :]
+        # constant-row type by reference tie-breaking: ALL_ZERO unless
+        # the all-one row is strictly cheaper (argmin prefers index 0)
+        self.b01 = np.where(
+            one_cost < zero_cost, np.int8(_T_ONE), np.int8(_T_ZERO)
+        )[:, None, :]
+        # exact-sum reduction vector: under the eligibility gate a
+        # dgemv against ones is bitwise equal to ``pat.sum(axis=2)``
+        # in any association order, and roughly halves the dispatch
+        self.ones = np.ones(rows)
+        self.v = np.empty((batch, z, cols))
+        self.pat = np.empty((batch, z, rows))
+        self.comp = np.empty((batch, z, rows))
+        self.m4 = np.empty((batch, z, rows))
+        self.g = np.empty((batch, z, cols))
+        self.u4 = np.empty((batch, z, rows), dtype=bool)
+        self.uvt = np.empty((batch, z, rows), dtype=bool)
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop converged items; state shrinks, buffers re-slice."""
+        self.diff = self.diff[keep]
+        self.diff_t = self.diff.transpose(0, 2, 1)
+        self.zc = self.zc[keep]
+        self.both = self.both[keep]
+        self.m01 = self.m01[keep]
+        self.b01 = self.b01[keep]
+        b = self.diff.shape[0]
+        self.v = self.v[:b]
+        self.pat = self.pat[:b]
+        self.comp = self.comp[:b]
+        self.m4 = self.m4[:b]
+        self.g = self.g[:b]
+        self.u4 = self.u4[:b]
+        self.uvt = self.uvt[:b]
+
+
+def _packed_types_core(
+    sweep: _PackedSweep, patterns: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Packed types half-step: one matmul, pairwise exact selection.
+
+    Returns ``(use4, use_vt, totals)`` — the two selection masks plus
+    the per-candidate totals.  The ``int8`` type vectors the reference
+    core emits are only needed when an item freezes, so the sweep loop
+    carries the masks and :func:`_packed_types` materialises types on
+    demand (most sweeps never do).  When ``patterns`` is ``None`` the
+    candidates already sit in ``sweep.v`` (the patterns half-step
+    writes them there as exact 0.0/1.0 floats, skipping a copy).
+    """
+    if patterns is not None:
+        np.copyto(sweep.v, patterns)
+    pat = sweep.pat
+    np.matmul(sweep.v, sweep.diff_t, out=pat)
+    pat += sweep.zc
+    comp = sweep.comp
+    np.subtract(sweep.both, pat, out=comp)
+    # among {pattern, complement}: argmin prefers the lower index, so
+    # COMPLEMENT only on strict improvement
+    use4 = np.less(comp, pat, out=sweep.u4)
+    np.minimum(pat, comp, out=pat)  # pat now holds the {3,4} best cost
+    # among {constants, pattern-group}: constants win ties (indices 0/1)
+    use_vt = np.less(pat, sweep.m01, out=sweep.uvt)
+    # min() selects the same value that where(use_vt, ...) would
+    np.minimum(pat, sweep.m01, out=pat)
+    # dgemv against ones == pat.sum(axis=2), exact under the gate
+    return use4, use_vt, np.matmul(pat, sweep.ones)
+
+
+def _packed_types(
+    use4: np.ndarray, use_vt: np.ndarray, b01: np.ndarray
+) -> np.ndarray:
+    """Materialise the reference ``int8`` type vectors from the masks."""
+    return np.where(use_vt, use4 + np.int8(_T_PATTERN), b01)
+
+
+def _packed_patterns_core(
+    sweep: _PackedSweep, use4: np.ndarray, use_vt: np.ndarray
+) -> np.ndarray:
+    """Packed patterns half-step: one matmul, sign test only.
+
+    The reference core forms ``cost_zero`` and ``cost_one`` per column
+    and compares them, but the alternation loop only consumes the
+    *comparison* (its totals are never read — convergence is judged on
+    the types half-step).  Under the eligibility gate the difference
+    ``cost_zero - cost_one = (m4 - m3) @ diff`` is exact, so its sign
+    reproduces the reference's strict ``cost_one < cost_zero`` bit for
+    bit.  The 0/1 result is written straight into ``sweep.v`` as exact
+    floats — the very operand the next types half-step multiplies — so
+    neither half-step pays a bool→float copy.
+    """
+    # msign = ((types == COMPLEMENT) - (types == PATTERN)) / 2, built
+    # in two ops as use_vt * (use4 - 0.5).  The half-scale factors out
+    # of the matmul *exactly* (every product and sum stays dyadic and
+    # within the gate's bound), so the sign test below is unchanged
+    msign = sweep.m4
+    np.subtract(use4, 0.5, out=msign)
+    msign *= use_vt
+    np.matmul(msign, sweep.diff, out=sweep.g)
+    return np.greater(sweep.g, 0.0, out=sweep.v, casting="unsafe")
+
+
+def _alternate_batch_packed(
+    d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray, max_sweeps: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Packed-tier :func:`_alternate_batch` from full cost matrices.
+
+    Thin adapter for callers that already built ``d0``/``d1`` (the
+    serial path); the batched driver gathers ``diff`` and the row sums
+    directly and calls :func:`_alternate_packed`.
+    """
+    zero_cost, one_cost = _row_sums(d0, d1)
+    return _alternate_packed(d1 - d0, zero_cost, one_cost, patterns, max_sweeps)
+
+
+def _alternate_packed(
+    diff: np.ndarray,
+    zero_cost: np.ndarray,
+    one_cost: np.ndarray,
+    patterns: np.ndarray,
+    max_sweeps: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Packed-tier :func:`_alternate_batch`: same loop, packed cores.
+
+    The convergence test, freeze points, and compaction mirror the
+    reference driver line for line — only the half-step arithmetic is
+    swapped, and the eligibility gate makes that swap bitwise
+    invisible.
+    """
+    batch, z = diff.shape[0], patterns.shape[1]
+    sweep = _PackedSweep(diff, zero_cost, one_cost, z)
+    use4, use_vt, totals = _packed_types_core(sweep, patterns)
+    out_patterns = np.empty_like(patterns)
+    out_types = np.empty((batch, z, diff.shape[1]), dtype=np.int8)
+    out_totals = np.empty_like(totals)
+    out_sweeps = np.zeros(batch, dtype=np.int64)
+    if max_sweeps < 1:
+        types = _packed_types(use4, use_vt, sweep.b01)
+        return patterns.copy(), types, totals, out_sweeps
+
+    if batch == 1:
+        sweeps = 0
+        while True:
+            sweeps += 1
+            patterns = _packed_patterns_core(sweep, use4, use_vt)
+            use4, use_vt, new_totals = _packed_types_core(sweep)
+            converged = bool((new_totals >= totals - 1e-12).all())
+            totals = new_totals
+            if converged or sweeps >= max_sweeps:
+                out_patterns[0] = patterns[0]
+                out_sweeps[0] = sweeps
+                types = _packed_types(use4, use_vt, sweep.b01)
+                return out_patterns, types, totals, out_sweeps
+
+    active = np.arange(batch)
+    done_mask = np.zeros(batch, dtype=bool)
+    sweeps = 0
+    while True:
+        sweeps += 1
+        patterns = _packed_patterns_core(sweep, use4, use_vt)
+        use4, use_vt, new_totals = _packed_types_core(sweep)
+        converged = np.logical_and.reduce(
+            new_totals >= totals - 1e-12, axis=1
+        )
+        totals = new_totals
+        finished = (
+            converged
+            if sweeps < max_sweeps
+            else np.ones(active.size, dtype=bool)
+        )
+        newly = np.flatnonzero(finished & ~done_mask)
+        if newly.size:
+            sel = active[newly]
+            out_patterns[sel] = patterns[newly]
+            out_types[sel] = _packed_types(
+                use4[newly], use_vt[newly], sweep.b01[newly]
+            )
+            out_totals[sel] = totals[newly]
+            out_sweeps[sel] = sweeps
+            done_mask[newly] = True
+            remaining = active.size - int(np.count_nonzero(done_mask))
+            if remaining == 0:
+                return out_patterns, out_types, out_totals, out_sweeps
+            # finished items keep riding the batch (their outputs are
+            # frozen above, and every item's trajectory is independent
+            # of its batchmates) until at least half the slots are
+            # dead — compacting on every event costs more in slicing
+            # than the dead flops do
+            if remaining * 2 <= active.size:
+                keep = ~done_mask
+                active = active[keep]
+                sweep.compact(keep)
+                use4 = use4[keep]
+                use_vt = use_vt[keep]
+                totals = totals[keep]
+                done_mask = np.zeros(active.size, dtype=bool)
+
+
 def _alternate_batch(
     d0: np.ndarray, d1: np.ndarray, patterns: np.ndarray, max_sweeps: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -469,7 +841,7 @@ def _best_of(
     totals: np.ndarray,
 ) -> OptForPartResult:
     """Pick the best candidate of one item's final alternation state."""
-    best = int(np.argmin(totals))
+    best = int(totals.argmin())
     # copies detach the winner from the batch arrays (memo entries must
     # not pin them); _trusted skips re-validating vectors the exact
     # half-steps produced
@@ -542,7 +914,12 @@ def _opt_single(
         if cached is not None:
             return cached[0], cached[1], True
     d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
-    fin_patterns, fin_types, fin_totals, fin_sweeps = _alternate_batch(
+    alternate = (
+        _alternate_batch_packed
+        if _packed_engaged(costs, p, memo)
+        else _alternate_batch
+    )
+    fin_patterns, fin_types, fin_totals, fin_sweeps = alternate(
         d0[None], d1[None], patterns[None], max_sweeps
     )
     result = _best_of(partition, fin_patterns[0], fin_types[0], fin_totals[0])
@@ -647,9 +1024,17 @@ def _opt_many(
     misses: List[int] = []
     total_sweeps = 0
     hits = 0
+    # one stack + one pack_bits call for the whole batch: chunk slices
+    # reuse the stack, and the memo digests sha1 the packed rows
+    stacked = np.stack(initial_patterns)
+    if use_memo:
+        packed_stack = pack_bits(stacked)
+        shape = stacked.shape[1:]
     for index, partition in enumerate(partitions):
         if use_memo:
-            key = memo.normal_key(partition, initial_patterns[index], max_sweeps)
+            key = memo.normal_key_packed(
+                partition, packed_stack[index], shape, max_sweeps
+            )
             cached = _RESULT_MEMO.get(key)
             if cached is not None:
                 results[index] = cached[0]
@@ -661,20 +1046,59 @@ def _opt_many(
     if misses:
         w0, w1 = costs.weighted(p)
         rows, cols = partitions[misses[0]].n_rows, partitions[misses[0]].n_cols
+        packed = _packed_engaged(costs, p, memo)
+        if packed:
+            # the packed sweep only consumes diff = d1 - d0 and the
+            # per-row sums, so gather the pre-differenced weight vector
+            # (half the gather work) and scatter-add the row sums by
+            # cached row index — exact under the gate, so bit-equal to
+            # building the matrices and reducing them.  Both run once
+            # per *chunk*: a single flat take over the stacked gather
+            # indices, and a single offset bincount whose bins see each
+            # item's weights in exactly the per-item accumulation order
+            wdiff = w1 - w0
+            entries = w0.shape[0]
+            max_b = min(_BATCH_LIMIT, len(misses))
+            w0_tiled = np.tile(w0, max_b)
         for start in range(0, len(misses), _BATCH_LIMIT):
             chunk = misses[start : start + _BATCH_LIMIT]
-            # gather each item's table straight into its batch slot —
-            # one pass instead of to_matrix allocations plus np.stack
-            d0 = np.empty((len(chunk), rows, cols))
-            d1 = np.empty_like(d0)
-            for j, i in enumerate(chunk):
-                idx = gather_index(partitions[i], n_inputs)
-                np.take(w0, idx, out=d0[j].reshape(-1))
-                np.take(w1, idx, out=d1[j].reshape(-1))
-            patterns = np.stack([initial_patterns[i] for i in chunk])
-            fin_patterns, fin_types, fin_totals, fin_sweeps = _alternate_batch(
-                d0, d1, patterns, max_sweeps
-            )
+            patterns = stacked[chunk] if len(chunk) < count else stacked
+            if packed:
+                b = len(chunk)
+                gidx = np.empty((b, entries), dtype=np.intp)
+                ridx = np.empty((b, entries), dtype=np.intp)
+                for j, i in enumerate(chunk):
+                    gather, row_index = _packed_index(partitions[i], n_inputs)
+                    gidx[j] = gather
+                    ridx[j] = row_index
+                diff = np.empty((b, rows, cols))
+                wdiff.take(gidx.reshape(-1), None, diff.reshape(-1), "clip")
+                ridx += (np.arange(b) * rows)[:, None]
+                zero_cost = np.bincount(
+                    ridx.reshape(-1),
+                    weights=w0_tiled[: b * entries],
+                    minlength=b * rows,
+                ).reshape(b, rows)
+                # the one-cost row sums fall out of the gathered diff:
+                # oc = zc + sum_cols(d1 - d0), exact under the gate
+                one_cost = zero_cost + diff.sum(axis=2)
+                fin_patterns, fin_types, fin_totals, fin_sweeps = (
+                    _alternate_packed(
+                        diff, zero_cost, one_cost, patterns, max_sweeps
+                    )
+                )
+            else:
+                # gather each item's table straight into its batch slot
+                # — one pass instead of to_matrix allocations + np.stack
+                d0 = np.empty((len(chunk), rows, cols))
+                d1 = np.empty_like(d0)
+                for j, i in enumerate(chunk):
+                    idx = gather_index(partitions[i], n_inputs)
+                    np.take(w0, idx, out=d0[j].reshape(-1))
+                    np.take(w1, idx, out=d1[j].reshape(-1))
+                fin_patterns, fin_types, fin_totals, fin_sweeps = (
+                    _alternate_batch(d0, d1, patterns, max_sweeps)
+                )
             for j, index in enumerate(chunk):
                 result = _best_of(
                     partitions[index], fin_patterns[j], fin_types[j], fin_totals[j]
@@ -708,9 +1132,19 @@ def opt_for_part_bto(
             if obs.enabled():
                 obs.incr("opt.bto_calls")
             return cached
-    d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
-    cost_zero = d0.sum(axis=0)
-    cost_one = d1.sum(axis=0)
+    if _packed_engaged(costs, p, memo):
+        # packed tier: only the per-column sums are needed, so skip the
+        # (rows x cols) matrix builds and scatter-add the weighted cost
+        # vectors by cached column index — exact under the eligibility
+        # gate, hence bit-equal to the matrix route
+        w0, w1 = costs.weighted(p)
+        columns = row_col_indices(partition, n_inputs)[1]
+        cost_zero = np.bincount(columns, weights=w0, minlength=partition.n_cols)
+        cost_one = np.bincount(columns, weights=w1, minlength=partition.n_cols)
+    else:
+        d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
+        cost_zero = d0.sum(axis=0)
+        cost_one = d1.sum(axis=0)
     pattern = (cost_one < cost_zero).astype(np.uint8)
     error = float(np.minimum(cost_zero, cost_one).sum())
     result = OptForPartResult(error, BoundOnlyDecomposition(partition, pattern))
@@ -734,27 +1168,89 @@ def opt_for_part_exhaustive(
     Exponential in ``2**b`` — a test oracle for small bound sets
     (``b <= 4``), verifying that the alternating optimisation finds the
     true optimum often and never reports a better-than-possible error.
+    Single-partition view of :func:`opt_for_part_exhaustive_many`.
     """
-    if partition.n_bound > 4:
-        raise ValueError(
-            f"exhaustive search over 2**{partition.n_cols} patterns refused; "
-            "use bound sets of size <= 4"
-        )
-    key = None
-    if memo is not None and caching.fast_paths_enabled():
-        key = memo.exhaustive_key(partition)
-        cached = _RESULT_MEMO.get(key)
-        if cached is not None:
-            return cached
-    d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
-    n_cols = partition.n_cols
-    count = 1 << n_cols
-    shifts = np.arange(n_cols, dtype=np.int64)
-    patterns = ((np.arange(count, dtype=np.int64)[:, None] >> shifts) & 1).astype(
-        np.uint8
-    )
-    types, totals = _optimal_types(d0, d1, patterns)
-    result = _best_of(partition, patterns, types, totals)
-    if key is not None:
-        _RESULT_MEMO.put(key, result)
-    return result
+    return opt_for_part_exhaustive_many(
+        costs, p, [partition], n_inputs, memo=memo
+    )[0]
+
+
+def opt_for_part_exhaustive_many(
+    costs: BitCosts,
+    p: np.ndarray,
+    partitions: Sequence[Partition],
+    n_inputs: int,
+    *,
+    memo: Optional[OptMemo] = None,
+) -> List[OptForPartResult]:
+    """Batched exhaustive oracle over same-shape partitions.
+
+    Accepts the same batched inputs as :func:`opt_for_part_many` (one
+    ``(free, bound)`` shape, results in input order, optional memo) so
+    oracle comparisons in the property suites can evaluate a whole
+    partition batch without hand-rolled loops.  The oracle always runs
+    the *reference* types half-step — it is the thing the fast tiers
+    are judged against — and every batch item is bitwise equal to a
+    standalone :func:`opt_for_part_exhaustive` call.
+    """
+    partitions = list(partitions)
+    if not partitions:
+        return []
+    shape = (partitions[0].n_rows, partitions[0].n_cols)
+    for partition in partitions:
+        if (partition.n_rows, partition.n_cols) != shape:
+            raise ValueError(
+                "opt_for_part_exhaustive_many needs partitions of one "
+                f"(free, bound) shape; got "
+                f"{(partition.n_rows, partition.n_cols)} and {shape}"
+            )
+        if partition.n_bound > 4:
+            raise ValueError(
+                f"exhaustive search over 2**{partition.n_cols} patterns "
+                "refused; use bound sets of size <= 4"
+            )
+    count = len(partitions)
+    use_memo = memo is not None and caching.fast_paths_enabled()
+    results: List[Optional[OptForPartResult]] = [None] * count
+    keys: List[Optional[Tuple]] = [None] * count
+    misses: List[int] = []
+    for index, partition in enumerate(partitions):
+        if use_memo:
+            key = memo.exhaustive_key(partition)
+            cached = _RESULT_MEMO.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            keys[index] = key
+        misses.append(index)
+
+    if misses:
+        w0, w1 = costs.weighted(p)
+        rows, cols = shape
+        n_patterns = 1 << cols
+        shifts = np.arange(cols, dtype=np.int64)
+        patterns = (
+            (np.arange(n_patterns, dtype=np.int64)[:, None] >> shifts) & 1
+        ).astype(np.uint8)
+        # the enumeration axis replaces Z, so the per-item float
+        # footprint is 2**b times larger than a search sweep's; scale
+        # the chunk size down accordingly
+        chunk_size = max(1, (_BATCH_LIMIT * 32) // n_patterns)
+        for start in range(0, len(misses), chunk_size):
+            chunk = misses[start : start + chunk_size]
+            d0 = np.empty((len(chunk), rows, cols))
+            d1 = np.empty_like(d0)
+            for j, i in enumerate(chunk):
+                idx = gather_index(partitions[i], n_inputs)
+                np.take(w0, idx, out=d0[j].reshape(-1))
+                np.take(w1, idx, out=d1[j].reshape(-1))
+            stacked = np.broadcast_to(
+                patterns, (len(chunk), n_patterns, cols)
+            )
+            types, totals = _optimal_types_batch(d0, d1, stacked)
+            for j, index in enumerate(chunk):
+                result = _best_of(partitions[index], patterns, types[j], totals[j])
+                results[index] = result
+                if keys[index] is not None:
+                    _RESULT_MEMO.put(keys[index], result)
+    return results  # type: ignore[return-value]

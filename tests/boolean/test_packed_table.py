@@ -1,0 +1,236 @@
+"""Property tests of the bit-packed truth-table primitives.
+
+The packed representation (one ``uint64`` bit-plane per output bit) is
+the storage tier under the packed kernel and the shared-memory arena,
+so the invariants here are representational, not algorithmic:
+
+* ``pack_bits``/``unpack_bits`` round-trip every 0/1 array — including
+  non-power-of-two lengths and planes spanning multiple words — and
+  pad bits are always zero, so byte equality is content equality;
+* popcount-based error counts equal the reference (unpacked numpy)
+  error distances bit for bit;
+* ``cofactor``/``restrict`` agree with restricting the unpacked table;
+* ``PackedTable`` round-trips arbitrary integer tables and its digest
+  content-addresses them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import (
+    PackedTable,
+    cofactor,
+    hamming,
+    pack_bits,
+    popcount,
+    restrict,
+    unpack_bits,
+)
+from repro.boolean.packed import WORD_BITS, n_words, popcount_words
+from repro.metrics import distributions
+
+
+@st.composite
+def bit_arrays(draw):
+    """A 0/1 array of 1..300 entries (covers multi-word planes)."""
+    length = draw(st.integers(1, 300))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=length, dtype=np.uint8)
+
+
+@st.composite
+def bit_tables(draw):
+    """A power-of-two single-output table plus an input variable."""
+    n = draw(st.integers(1, 9))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=1 << n, dtype=np.uint8)
+    var = draw(st.integers(0, n - 1))
+    value = draw(st.integers(0, 1))
+    return n, bits, var, value
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(bit_arrays())
+    def test_pack_unpack_round_trip(self, bits):
+        words = pack_bits(bits)
+        assert words.shape == (n_words(bits.shape[0]),)
+        assert np.array_equal(unpack_bits(words, bits.shape[0]), bits)
+
+    @settings(max_examples=100, deadline=None)
+    @given(bit_arrays())
+    def test_pad_bits_are_zero(self, bits):
+        """Byte equality must be content equality: no garbage past len."""
+        words = pack_bits(bits)
+        length = bits.shape[0]
+        used = int(words[-1])
+        tail = length - (words.shape[0] - 1) * WORD_BITS
+        assert used >> tail == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_batched_pack_matches_per_row(self, length, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 2, size=(5, length), dtype=np.uint8)
+        batched = pack_bits(rows)
+        for row, packed_row in zip(rows, batched):
+            assert np.array_equal(pack_bits(row), packed_row)
+
+    def test_pack_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.uint8(1))
+
+    def test_unpack_checks_word_count(self):
+        with pytest.raises(ValueError, match="words"):
+            unpack_bits(np.zeros(2, dtype=np.uint64), 64)
+
+
+class TestPopcount:
+    @settings(max_examples=100, deadline=None)
+    @given(bit_arrays())
+    def test_popcount_equals_sum(self, bits):
+        assert popcount(pack_bits(bits)) == int(bits.sum())
+
+    @settings(max_examples=50, deadline=None)
+    @given(bit_arrays(), st.integers(0, 2**31 - 1))
+    def test_hamming_equals_unpacked_distance(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 2, size=bits.shape[0], dtype=np.uint8)
+        assert hamming(pack_bits(bits), pack_bits(other)) == int(
+            np.sum(bits != other)
+        )
+
+    def test_popcount_words_per_word(self):
+        words = np.array([0, 1, 0xFFFFFFFFFFFFFFFF, 1 << 63], dtype=np.uint64)
+        assert popcount_words(words).tolist() == [0, 1, 64, 1]
+
+
+class TestMedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 9), st.integers(0, 2**31 - 1))
+    def test_packed_med_equals_reference_med(self, n, seed):
+        """Word-XOR + popcount reproduces the numpy MED exactly."""
+        rng = np.random.default_rng(seed)
+        exact = rng.integers(0, 2, size=1 << n, dtype=np.int64)
+        approx = rng.integers(0, 2, size=1 << n, dtype=np.int64)
+        a = PackedTable(exact, 1)
+        b = PackedTable(approx, 1)
+        p = distributions.uniform(n)
+        reference = float(np.sum(p * np.abs(exact - approx)))
+        assert a.med(b) == reference
+        assert a.med(b, p) == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_component_error_counts_match_reference(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        exact = rng.integers(0, 1 << k, size=1 << n, dtype=np.int64)
+        approx = rng.integers(0, 1 << k, size=1 << n, dtype=np.int64)
+        counts = PackedTable(exact, k).component_error_counts(
+            PackedTable(approx, k)
+        )
+        for bit in range(k):
+            expected = int(np.sum(((exact >> bit) & 1) != ((approx >> bit) & 1)))
+            assert int(counts[bit]) == expected
+
+    def test_med_refuses_multi_output(self):
+        table = np.arange(8, dtype=np.int64)
+        with pytest.raises(ValueError, match="single-output"):
+            PackedTable(table, 3).med(PackedTable(table, 3))
+
+    def test_med_refuses_non_constant_weights(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.int64)
+        a, b = PackedTable(bits, 1), PackedTable(1 - bits, 1)
+        with pytest.raises(ValueError, match="constant"):
+            a.med(b, np.array([0.5, 0.25, 0.125, 0.125]))
+
+
+class TestCofactor:
+    @settings(max_examples=100, deadline=None)
+    @given(bit_tables())
+    def test_cofactor_matches_unpacked(self, case):
+        n, bits, var, value = case
+        length = 1 << n
+        packed = cofactor(pack_bits(bits), length, var, value)
+        index = np.arange(length)
+        expected = bits[((index >> var) & 1) == value]
+        assert np.array_equal(unpack_bits(packed, length // 2), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 9), st.integers(0, 2**31 - 1))
+    def test_restrict_two_vars_matches_unpacked(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=1 << n, dtype=np.uint8)
+        hi, lo = n - 1, int(rng.integers(0, n - 1))
+        v_hi, v_lo = int(rng.integers(0, 2)), int(rng.integers(0, 2))
+        packed = restrict(pack_bits(bits), 1 << n, {hi: v_hi, lo: v_lo})
+        index = np.arange(1 << n)
+        keep = (((index >> hi) & 1) == v_hi) & (((index >> lo) & 1) == v_lo)
+        assert np.array_equal(unpack_bits(packed, 1 << (n - 2)), bits[keep])
+
+    def test_cofactor_validates_arguments(self):
+        plane = pack_bits(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError, match="power-of-two"):
+            cofactor(plane, 7, 0, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            cofactor(plane, 8, 3, 0)
+        with pytest.raises(ValueError, match="0 or 1"):
+            cofactor(plane, 8, 0, 2)
+
+
+class TestPackedTable:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 9), st.integers(1, 12), st.integers(0, 2**31 - 1))
+    def test_table_round_trip(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 1 << k, size=1 << n, dtype=np.int64)
+        packed = PackedTable(table, k)
+        assert np.array_equal(packed.to_table(), table)
+        for bit in range(k):
+            assert np.array_equal(packed.component(bit), (table >> bit) & 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    def test_trusted_constructor_is_equivalent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 16, size=1 << n, dtype=np.int64)
+        packed = PackedTable(table, 4)
+        adopted = PackedTable._trusted(packed.length, 4, packed.planes)
+        assert adopted == packed
+        assert adopted.digest() == packed.digest()
+        assert hash(adopted) == hash(packed)
+
+    def test_digest_content_addresses(self):
+        a = np.array([0, 1, 2, 3], dtype=np.int64)
+        same = PackedTable(a, 2)
+        assert PackedTable(a.copy(), 2).digest() == same.digest()
+        assert PackedTable(a[::-1].copy(), 2).digest() != same.digest()
+        # layout header: same planes, different declared widths differ
+        b = np.array([0, 1, 0, 1], dtype=np.int64)
+        assert PackedTable(b, 1).digest() != PackedTable(b, 2).digest()
+
+    def test_validates_width_and_shape(self):
+        with pytest.raises(ValueError, match="fit"):
+            PackedTable(np.array([4], dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="fit"):
+            PackedTable(np.array([-1], dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="flat"):
+            PackedTable(np.zeros((2, 2), dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            PackedTable(np.array([0], dtype=np.int64), 0)
+
+    def test_immutable(self):
+        packed = PackedTable(np.array([1, 0], dtype=np.int64), 1)
+        with pytest.raises(AttributeError):
+            packed.length = 4
+        assert not packed.planes.flags.writeable
+
+    def test_memory_shrink_at_table2_scale(self):
+        """The arena math: 12-bit entries pack 5.3x smaller than int64."""
+        table = np.arange(1 << 12, dtype=np.int64)
+        packed = PackedTable(table, 12)
+        assert packed.nbytes * 5 < table.nbytes
+        assert np.array_equal(packed.to_table(), table)

@@ -3,13 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.boolean import Partition, RowType
+from repro.boolean import Partition, RowType, random_partition
 from repro.core import (
     BitCosts,
     cost_vectors_fixed,
     opt_for_part,
     opt_for_part_bto,
     opt_for_part_exhaustive,
+    opt_for_part_exhaustive_many,
+    opt_for_part_many,
 )
 from repro.metrics import distributions
 
@@ -67,33 +69,51 @@ class TestAgainstExhaustiveOracle:
     def test_never_beats_oracle(self, rng):
         n = 5
         p = distributions.uniform(n)
-        partition = Partition((3, 4), (0, 1, 2))
-        for _ in range(5):
-            bits = random_bits(n, rng)
-            costs = _single_bit_costs(bits)
-            heuristic = opt_for_part(
-                costs, p, partition, n, n_initial_patterns=10, rng=rng
-            )
-            oracle = opt_for_part_exhaustive(costs, p, partition, n)
+        costs = _single_bit_costs(random_bits(n, rng))
+        partitions = [random_partition(n, 3, rng) for _ in range(5)]
+        heuristics = opt_for_part_many(
+            costs, p, partitions, n, n_initial_patterns=10, rng=rng
+        )
+        oracles = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        for heuristic, oracle in zip(heuristics, oracles):
             assert heuristic.error >= oracle.error - 1e-12
 
     def test_usually_matches_oracle(self, rng):
         """With generous restarts the alternation finds the optimum."""
         n = 5
         p = distributions.uniform(n)
-        partition = Partition((2, 3, 4), (0, 1))
-        hits = 0
-        trials = 10
-        for _ in range(trials):
-            bits = random_bits(n, rng)
-            costs = _single_bit_costs(bits)
-            heuristic = opt_for_part(
-                costs, p, partition, n, n_initial_patterns=16, rng=rng
-            )
-            oracle = opt_for_part_exhaustive(costs, p, partition, n)
-            if heuristic.error <= oracle.error + 1e-12:
-                hits += 1
-        assert hits >= trials - 2
+        costs = _single_bit_costs(random_bits(n, rng))
+        partitions = [random_partition(n, 2, rng) for _ in range(10)]
+        heuristics = opt_for_part_many(
+            costs, p, partitions, n, n_initial_patterns=16, rng=rng
+        )
+        oracles = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        hits = sum(
+            heuristic.error <= oracle.error + 1e-12
+            for heuristic, oracle in zip(heuristics, oracles)
+        )
+        assert hits >= len(partitions) - 2
+
+    def test_batched_oracle_matches_serial(self, rng):
+        """``exhaustive_many`` equals a loop of single calls, bit for bit."""
+        n = 5
+        p = distributions.uniform(n)
+        costs = _single_bit_costs(random_bits(n, rng))
+        partitions = [random_partition(n, 3, rng) for _ in range(4)]
+        batched = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        for partition, item in zip(partitions, batched):
+            serial = opt_for_part_exhaustive(costs, p, partition, n)
+            assert item.error == serial.error
+            assert np.array_equal(item.pattern, serial.pattern)
+            assert np.array_equal(item.types, serial.types)
+
+    def test_batched_oracle_rejects_mixed_shapes(self, rng):
+        n = 5
+        p = distributions.uniform(n)
+        costs = _single_bit_costs(random_bits(n, rng))
+        mixed = [Partition((3, 4), (0, 1, 2)), Partition((2, 3, 4), (0, 1))]
+        with pytest.raises(ValueError, match="shape"):
+            opt_for_part_exhaustive_many(costs, p, mixed, n)
 
     def test_exhaustive_refuses_large_bound(self, rng):
         costs = _single_bit_costs(random_bits(6, rng))

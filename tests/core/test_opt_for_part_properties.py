@@ -23,6 +23,8 @@ from repro.core import (
     opt_for_part,
     opt_for_part_bto,
     opt_for_part_exhaustive,
+    opt_for_part_exhaustive_many,
+    opt_for_part_many,
 )
 from repro.metrics import distributions
 
@@ -58,6 +60,25 @@ def bounded_instances(draw):
     return n, partition, costs, p, z, seed
 
 
+@st.composite
+def bounded_batches(draw):
+    """A cost context plus several same-shape partitions (``|B| <= 3``)."""
+    n = draw(st.integers(4, 6))
+    bound_size = draw(st.integers(1, min(3, n - 1)))
+    count = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    partitions = []
+    for _ in range(count):
+        variables = [int(v) for v in rng.permutation(n)]
+        partitions.append(
+            Partition(tuple(variables[bound_size:]), tuple(variables[:bound_size]))
+        )
+    bits = rng.integers(0, 2, size=1 << n, dtype=np.int64)
+    costs = cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+    return n, partitions, costs, distributions.uniform(n), seed
+
+
 class TestExhaustiveOracle:
     @settings(max_examples=40, deadline=None)
     @given(bounded_instances())
@@ -81,6 +102,36 @@ class TestExhaustiveOracle:
         exact = opt_for_part_exhaustive(costs, p, partition, n)
         bto = opt_for_part_bto(costs, p, partition, n)
         assert bto.error >= exact.error - _TOL
+
+
+class TestBatchedOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(bounded_batches())
+    def test_batched_oracle_equals_serial(self, instance):
+        """``exhaustive_many`` is bitwise a loop of single oracle calls."""
+        n, partitions, costs, p, _ = instance
+        batched = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        for partition, item in zip(partitions, batched):
+            serial = opt_for_part_exhaustive(costs, p, partition, n)
+            assert item.error == serial.error
+            assert np.array_equal(item.pattern, serial.pattern)
+            assert np.array_equal(item.types, serial.types)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bounded_batches())
+    def test_batched_alternation_never_beats_batched_oracle(self, instance):
+        n, partitions, costs, p, seed = instance
+        oracles = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        heuristics = opt_for_part_many(
+            costs,
+            p,
+            partitions,
+            n,
+            n_initial_patterns=6,
+            rng=np.random.default_rng(seed),
+        )
+        for heuristic, oracle in zip(heuristics, oracles):
+            assert heuristic.error >= oracle.error - _TOL
 
 
 class TestReportedError:

@@ -1,0 +1,301 @@
+"""Differential harness for the bit-packed OptForPart kernel tier.
+
+The packed sweep restructures the kernel's arithmetic (diff-matrix
+matmuls, offset bincounts, half-scaled sign products) and is only
+engaged when the dyadic-exactness gate proves every intermediate float
+exactly representable.  Under the gate the tier must be *byte-exact*:
+every error, pattern byte, type byte and consumed rng draw identical
+to the reference sweep with packing disabled.  These tests pin that
+contract at three levels — single kernel calls across sweep budgets,
+full algorithm runs across all three architectures, and packed
+shared-memory arena pages — plus the gate itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import caching
+from repro.boolean import random_partition
+from repro.core import (
+    AlgorithmConfig,
+    cost_vectors_fixed,
+    memo_context,
+    opt_for_part,
+    opt_for_part_bto,
+    opt_for_part_many,
+    run_bssa,
+    run_dalta,
+)
+from repro.metrics import distributions
+
+from ..conftest import random_bits, random_function
+from .test_fast_paths import _run_fingerprint, _same_result
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    caching.clear_caches()
+    yield
+    caching.clear_caches()
+
+
+def _uniform_instance(n_inputs, seed):
+    """Integer costs + uniform p: the gate's eligible regime."""
+    rng = np.random.default_rng(seed)
+    bits = random_bits(n_inputs, rng)
+    costs = cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+    return costs, distributions.uniform(n_inputs)
+
+
+def _kernel():
+    import importlib
+
+    # the package re-exports the function under the module's name
+    return importlib.import_module("repro.core.opt_for_part")
+
+
+class TestEligibilityGate:
+    def test_uniform_integer_instance_is_eligible(self):
+        costs, p = _uniform_instance(8, seed=0)
+        assert _kernel()._packed_eligible(costs, p)
+
+    def test_non_uniform_distribution_is_rejected(self):
+        costs, _ = _uniform_instance(6, seed=1)
+        raw = np.random.default_rng(1).random(1 << 6) + 1e-3
+        assert not _kernel()._packed_eligible(costs, raw / raw.sum())
+
+    def test_fractional_costs_are_rejected(self):
+        costs, p = _uniform_instance(5, seed=2)
+        fractional = type(costs)(costs.k, costs.cost0 + 0.5, costs.cost1)
+        assert not _kernel()._packed_eligible(fractional, p)
+
+    def test_negative_costs_are_rejected(self):
+        costs, p = _uniform_instance(5, seed=3)
+        negative = type(costs)(costs.k, costs.cost0 - 1.0, costs.cost1)
+        assert not _kernel()._packed_eligible(negative, p)
+
+    def test_magnitude_overflow_is_rejected(self):
+        """Sums that could leave the exact-integer float range bail out."""
+        costs, p = _uniform_instance(5, seed=4)
+        huge = type(costs)(costs.k, costs.cost0 + 2.0**53, costs.cost1)
+        assert not _kernel()._packed_eligible(huge, p)
+
+    def test_empty_distribution_is_rejected(self):
+        costs, _ = _uniform_instance(4, seed=5)
+        assert not _kernel()._packed_eligible(costs, np.empty(0))
+
+    def test_switch_nests_under_fast_paths(self):
+        """REPRO_FAST_PATHS=0 must also disable the packed tier."""
+        assert caching.packed_kernel_enabled()
+        with caching.packed_kernel(False):
+            assert not caching.packed_kernel_enabled()
+        with caching.fast_paths(False):
+            assert not caching.packed_kernel_enabled()
+        assert caching.packed_kernel_enabled()
+
+    def test_memo_caches_the_verdict(self):
+        costs, p = _uniform_instance(7, seed=6)
+        memo = memo_context(costs, p)
+        assert memo.packed_ok is None
+        assert _kernel()._packed_engaged(costs, p, memo)
+        assert memo.packed_ok is True
+        # a cached verdict short-circuits the array scans entirely
+        assert _kernel()._packed_engaged(costs, p, memo)
+
+
+class TestKernelByteIdentity:
+    """Packed on vs off: identical bytes out, identical rng stream."""
+
+    @pytest.mark.parametrize("max_sweeps", [1, 2, 50])
+    @pytest.mark.parametrize("n_inputs,bound", [(6, 3), (9, 4), (10, 6)])
+    def test_single_call(self, n_inputs, bound, max_sweeps):
+        costs, p = _uniform_instance(n_inputs, seed=17)
+        partition = random_partition(n_inputs, bound, np.random.default_rng(3))
+        rng_packed = np.random.default_rng(23)
+        rng_ref = np.random.default_rng(23)
+        with caching.packed_kernel(True):
+            packed = opt_for_part(
+                costs, p, partition, n_inputs,
+                n_initial_patterns=6, max_sweeps=max_sweeps, rng=rng_packed,
+            )
+        with caching.packed_kernel(False):
+            reference = opt_for_part(
+                costs, p, partition, n_inputs,
+                n_initial_patterns=6, max_sweeps=max_sweeps, rng=rng_ref,
+            )
+        _same_result(packed, reference)
+        assert rng_packed.bit_generator.state == rng_ref.bit_generator.state
+
+    @pytest.mark.parametrize("count", [1, 9, 70])
+    def test_batched_calls(self, count):
+        """Chunked batches (beyond _BATCH_LIMIT) stay byte-identical."""
+        costs, p = _uniform_instance(9, seed=29)
+        sample_rng = np.random.default_rng(11)
+        partitions = [random_partition(9, 4, sample_rng) for _ in range(count)]
+        rng_packed = np.random.default_rng(31)
+        rng_ref = np.random.default_rng(31)
+        with caching.packed_kernel(True):
+            packed = opt_for_part_many(
+                costs, p, partitions, 9, n_initial_patterns=5, rng=rng_packed
+            )
+        with caching.packed_kernel(False):
+            reference = opt_for_part_many(
+                costs, p, partitions, 9, n_initial_patterns=5, rng=rng_ref
+            )
+        for a, b in zip(packed, reference):
+            _same_result(a, b)
+        assert rng_packed.bit_generator.state == rng_ref.bit_generator.state
+
+    def test_bto_variant(self):
+        costs, p = _uniform_instance(8, seed=37)
+        partition = random_partition(8, 4, np.random.default_rng(5))
+        with caching.packed_kernel(True):
+            packed = opt_for_part_bto(costs, p, partition, 8)
+        with caching.packed_kernel(False):
+            reference = opt_for_part_bto(costs, p, partition, 8)
+        _same_result(packed, reference)
+
+    def test_ineligible_instance_falls_back(self):
+        """Non-uniform p runs the reference sweep even with packing on."""
+        rng = np.random.default_rng(41)
+        bits = random_bits(7, rng)
+        costs = cost_vectors_fixed(bits, np.zeros_like(bits), 0)
+        raw = rng.random(1 << 7) + 1e-3
+        p = raw / raw.sum()
+        partition = random_partition(7, 3, np.random.default_rng(2))
+        with caching.packed_kernel(True):
+            on = opt_for_part(
+                costs, p, partition, 7, rng=np.random.default_rng(9)
+            )
+        with caching.packed_kernel(False):
+            off = opt_for_part(
+                costs, p, partition, 7, rng=np.random.default_rng(9)
+            )
+        _same_result(on, off)
+
+    def test_memoised_result_matches_reference(self):
+        """A memo warmed under packing replays reference-identical bytes."""
+        costs, p = _uniform_instance(8, seed=43)
+        partition = random_partition(8, 4, np.random.default_rng(7))
+        memo = memo_context(costs, p)
+        with caching.packed_kernel(True):
+            first = opt_for_part(
+                costs, p, partition, 8, rng=np.random.default_rng(1), memo=memo
+            )
+            replay = opt_for_part(
+                costs, p, partition, 8, rng=np.random.default_rng(1), memo=memo
+            )
+        assert caching.cache_stats()["opt.memo"]["hits"] == 1
+        with caching.fast_paths(False):
+            reference = opt_for_part(
+                costs, p, partition, 8, rng=np.random.default_rng(1)
+            )
+        _same_result(first, replay)
+        _same_result(first, reference)
+
+
+class TestPipelineByteIdentity:
+    """Full protocol runs are byte-identical with the packed tier on/off."""
+
+    CONFIG = AlgorithmConfig(
+        bound_size=4,
+        rounds=2,
+        partition_limit=8,
+        n_initial_patterns=4,
+        n_beam=2,
+        n_neighbours=3,
+        nd_candidates=2,
+    )
+
+    def _run(self, algorithm, architecture, packed):
+        rng = np.random.default_rng(2024)
+        target = random_function(8, 4, np.random.default_rng(77), name="t")
+        with caching.packed_kernel(packed):
+            caching.clear_caches()
+            if algorithm == "dalta":
+                return run_dalta(target, self.CONFIG, rng=rng)
+            return run_bssa(
+                target, self.CONFIG, rng=rng, architecture=architecture
+            )
+
+    @pytest.mark.parametrize(
+        "algorithm,architecture",
+        [
+            ("bs-sa", "normal"),
+            ("bs-sa", "bto-normal"),
+            ("bs-sa", "bto-normal-nd"),
+            ("dalta", "normal"),
+        ],
+    )
+    def test_packed_tier_does_not_change_results(self, algorithm, architecture):
+        packed = self._run(algorithm, architecture, packed=True)
+        reference = self._run(algorithm, architecture, packed=False)
+        assert _run_fingerprint(packed) == _run_fingerprint(reference)
+
+
+class TestArenaPackedPages:
+    def test_packed_page_round_trips_byte_identical(self):
+        from repro.experiments import pool as pool_mod
+
+        arena = pool_mod.TableArena()
+        segments, tables = {}, {}
+        try:
+            table = np.random.default_rng(0).integers(
+                0, 1 << 12, size=1 << 12, dtype=np.int64
+            )
+            with caching.packed_kernel(True):
+                ref = arena.publish(table)
+            assert "packed" in ref
+            view = pool_mod._table_view(segments, tables, ref)
+            assert view.dtype == table.dtype
+            assert view.tobytes() == table.tobytes()
+            assert not view.flags.writeable
+            # unpacked once per digest, then cached
+            assert pool_mod._table_view(segments, tables, ref) is view
+        finally:
+            tables.clear()
+            for segment in segments.values():
+                segment.close()
+            arena.close()
+
+    def test_packed_page_is_smaller_and_shares_address(self):
+        from repro.experiments import pool as pool_mod
+
+        arena = pool_mod.TableArena()
+        try:
+            table = np.arange(1 << 12, dtype=np.int64)
+            with caching.packed_kernel(True):
+                ref = arena.publish(table)
+                again = arena.publish(table.copy())
+            assert arena.bytes * 5 < table.nbytes
+            # content addressing keys the *raw* bytes: idempotent publish
+            assert again["name"] == ref["name"] and len(arena) == 1
+        finally:
+            arena.close()
+
+    def test_disabled_tier_publishes_raw_pages(self):
+        from repro.experiments import pool as pool_mod
+
+        arena = pool_mod.TableArena()
+        try:
+            table = np.arange(64, dtype=np.int64)
+            with caching.packed_kernel(False):
+                ref = arena.publish(table)
+            assert "packed" not in ref
+            assert arena.bytes == table.nbytes
+        finally:
+            arena.close()
+
+    def test_signed_tables_stay_raw(self):
+        from repro.experiments import pool as pool_mod
+
+        arena = pool_mod.TableArena()
+        try:
+            table = np.arange(-32, 32, dtype=np.int64)
+            with caching.packed_kernel(True):
+                ref = arena.publish(table)
+            assert "packed" not in ref
+        finally:
+            arena.close()

@@ -8,14 +8,32 @@ manifests modulo timings and cache-warmth counters.  This is the
 acceptance test of the warm-pool backend: persistent workers, the
 shared-memory table transport, and the campaign-shared OptForPart memo
 may change *when* things are computed, never *what*.
+
+The packed-kernel tier adds a second axis: every backend must produce
+the same bytes whether ``REPRO_PACKED_KERNEL`` is on (the default,
+exercised by the suite above) or off — including a chaos-marked
+SIGKILL-and-resume with packing enabled, whose resumed results must
+match a fault-free run with packing *disabled*.
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
 
-from repro import obs
-from repro.experiments.engine import EngineConfig, run_experiment_campaign
+import pytest
+
+from repro import caching, obs
+from repro.experiments.engine import (
+    EngineConfig,
+    campaign_status,
+    resume_campaign,
+    run_experiment_campaign,
+)
 from repro.experiments.runner import ExperimentScale
 from repro.experiments.table2 import run_table2
+from repro.faults import ENV_VAR, FaultPlan
 
 _BASE_SEED = 3
 
@@ -117,3 +135,115 @@ class TestBackendEquivalence:
         assert manifests[1] == manifests[2], (
             "cold vs warm pool manifests differ beyond timings"
         )
+
+
+class TestPackedKernelAxis:
+    """The backend grid crossed with the packed-kernel switch.
+
+    The suite above runs every backend with the packed tier on (its
+    default); here the same campaign runs with ``REPRO_PACKED_KERNEL=0``
+    — in-process for the serial reference, via the inherited
+    environment for spawn/pool workers — and each cell must still be
+    byte-identical to the packed-on serial run.
+    """
+
+    def test_packed_off_backends_match_packed_on_serial(
+        self, tmp_path, monkeypatch
+    ):
+        with caching.packed_kernel(True):
+            caching.clear_caches()
+            packed_on = run_table2(
+                ExperimentScale.smoke(), base_seed=_BASE_SEED
+            )
+
+        monkeypatch.setenv("REPRO_PACKED_KERNEL", "0")
+        with caching.packed_kernel(False):
+            caching.clear_caches()
+            serial_off = run_table2(
+                ExperimentScale.smoke(), base_seed=_BASE_SEED
+            )
+            spawn_off, _ = _campaign(
+                tmp_path, "spawn-off", EngineConfig(n_jobs=2)
+            )
+            pool_off, _ = _campaign(
+                tmp_path,
+                "pool-off",
+                EngineConfig(n_jobs=2, backend="pool"),
+            )
+            warm_config = EngineConfig(
+                n_jobs=2, backend="pool", memo_dir=str(tmp_path / "memo-off")
+            )
+            _campaign(tmp_path, "memo-seed-off", warm_config)
+            warm_off, _ = _campaign(tmp_path, "warm-off", warm_config)
+
+        blobs = [
+            json.dumps(_strip_times(result.as_dict()), sort_keys=True)
+            for result in (packed_on, serial_off, spawn_off, pool_off, warm_off)
+        ]
+        assert blobs[0] == blobs[1], "packed tier changed serial results"
+        assert blobs[1] == blobs[2], "packed-off spawn diverged from serial"
+        assert blobs[2] == blobs[3], "packed-off pool diverged from spawn"
+        assert blobs[3] == blobs[4], "packed-off warm memo changed results"
+
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+_KILL_AFTER_JOB = 2
+
+_CHILD = """
+import sys
+from repro.experiments.engine import run_experiment_campaign
+run_experiment_campaign("table2", "smoke", {seed}, campaign_dir=sys.argv[1])
+"""
+
+
+@pytest.mark.chaos
+class TestPackedKillResume:
+    """SIGKILL mid-campaign with packing on; resume; compare to packed-off.
+
+    The strongest cross-check of the tier: a campaign killed at a job
+    boundary *with the packed kernel engaged*, resumed from its
+    checkpoints (still packed), must reproduce — byte for byte — the
+    MEDs of an uninterrupted campaign that never ran packed code at
+    all.  Any drift in the packed sweep, the checkpoint payloads, or
+    the resume accounting shows up as a diff here.
+    """
+
+    def test_resumed_packed_campaign_matches_packed_off_run(self, tmp_path):
+        campaign_dir = str(tmp_path / "packed-chaos")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env[ENV_VAR] = f"abort@{_KILL_AFTER_JOB}"
+        env["REPRO_PACKED_KERNEL"] = "1"
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD.format(seed=_BASE_SEED), campaign_dir],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        status = campaign_status(campaign_dir)
+        assert len(status.done) == _KILL_AFTER_JOB + 1
+
+        with caching.packed_kernel(True):
+            caching.clear_caches()
+            result, outcome = resume_campaign(campaign_dir, faults=FaultPlan())
+        assert outcome.complete
+        assert outcome.resumed == _KILL_AFTER_JOB + 1
+
+        with caching.packed_kernel(False):
+            caching.clear_caches()
+            reference = run_table2(
+                ExperimentScale.smoke(), base_seed=_BASE_SEED
+            )
+
+        resumed_blob = json.dumps(
+            _strip_times(result.as_dict()), sort_keys=True
+        )
+        reference_blob = json.dumps(
+            _strip_times(reference.as_dict()), sort_keys=True
+        )
+        assert resumed_blob == reference_blob

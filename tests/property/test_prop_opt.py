@@ -9,6 +9,8 @@ from repro.core import (
     opt_for_part,
     opt_for_part_bto,
     opt_for_part_exhaustive,
+    opt_for_part_exhaustive_many,
+    opt_for_part_many,
     optimize_nondisjoint_shared,
 )
 
@@ -32,6 +34,31 @@ def cost_instance(draw):
     free = tuple(v for v in variables if v not in bound)
     p = np.full(size, 1.0 / size)
     return n, BitCosts(0, cost0, cost1), Partition(free, bound), p
+
+
+@st.composite
+def cost_batch_instance(draw):
+    """A cost instance plus several partitions of one (free, bound) shape."""
+    n = draw(st.integers(3, 5))
+    size = 1 << n
+    cost0 = np.array(
+        draw(st.lists(st.integers(0, 20), min_size=size, max_size=size)),
+        dtype=np.float64,
+    )
+    cost1 = np.array(
+        draw(st.lists(st.integers(0, 20), min_size=size, max_size=size)),
+        dtype=np.float64,
+    )
+    bound_size = draw(st.integers(1, min(3, n - 1)))
+    count = draw(st.integers(2, 4))
+    variables = list(range(n))
+    partitions = []
+    for _ in range(count):
+        bound = tuple(sorted(draw(st.permutations(variables))[:bound_size]))
+        free = tuple(v for v in variables if v not in bound)
+        partitions.append(Partition(free, bound))
+    p = np.full(size, 1.0 / size)
+    return n, BitCosts(0, cost0, cost1), partitions, p
 
 
 class TestOptForPart:
@@ -63,6 +90,34 @@ class TestOptForPart:
         rng = np.random.default_rng(seed)
         result = opt_for_part(costs, p, partition, n, rng=rng)
         assert result.error >= costs.lower_bound(p) - 1e-9
+
+    @given(cost_batch_instance(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_never_beats_batched_exhaustive(self, case, seed):
+        """One batched call per side — no hand-rolled oracle loop."""
+        n, costs, partitions, p = case
+        heuristics = opt_for_part_many(
+            costs,
+            p,
+            partitions,
+            n,
+            n_initial_patterns=4,
+            rng=np.random.default_rng(seed),
+        )
+        oracles = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        for heuristic, oracle in zip(heuristics, oracles):
+            assert heuristic.error >= oracle.error - 1e-9
+
+    @given(cost_batch_instance())
+    @settings(max_examples=20, deadline=None)
+    def test_batched_exhaustive_equals_serial(self, case):
+        n, costs, partitions, p = case
+        batched = opt_for_part_exhaustive_many(costs, p, partitions, n)
+        for partition, item in zip(partitions, batched):
+            serial = opt_for_part_exhaustive(costs, p, partition, n)
+            assert item.error == serial.error
+            assert np.array_equal(item.pattern, serial.pattern)
+            assert np.array_equal(item.types, serial.types)
 
     @given(cost_instance())
     @settings(max_examples=50, deadline=None)
