@@ -1,9 +1,10 @@
 """Perf-regression ratchet: fresh snapshots vs the committed baselines.
 
 Runs the same seeded protocols as ``snapshot_table2`` /
-``snapshot_parallel`` / ``snapshot_packed`` (or takes pre-generated
-snapshots via ``--fresh-*``) and compares them against the committed
-``BENCH_table2.json`` / ``BENCH_parallel.json`` / ``BENCH_packed.json``:
+``snapshot_parallel`` / ``snapshot_packed`` / ``snapshot_serve`` (or
+takes pre-generated snapshots via ``--fresh-*``) and compares them
+against the committed ``BENCH_table2.json`` / ``BENCH_parallel.json``
+/ ``BENCH_packed.json`` / ``BENCH_serve.json``:
 
 * **MED drift** — every fresh per-benchmark MED row must be
   byte-identical to the committed row.  The per-benchmark seeding is
@@ -315,6 +316,42 @@ def check_packed(
         )
 
 
+def check_serve(
+    ratchet: Ratchet,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    tolerance: float,
+) -> None:
+    _check_provenance(ratchet, "serve", committed, "committed")
+    _check_provenance(ratchet, "serve", fresh, "fresh")
+    _check_meds(ratchet, "serve", committed, fresh)
+    ratchet.check(
+        "serve: served-vs-offline byte identity",
+        bool(fresh.get("byte_identical")),
+        "every served artifact matched its offline twin"
+        if fresh.get("byte_identical")
+        else "fresh snapshot did not assert byte identity",
+    )
+    batched = fresh.get("batching", {}).get("batched_jobs")
+    ratchet.check(
+        "serve: cross-request batching engagement",
+        bool(batched),
+        f"{batched} jobs travelled in multi-job batches"
+        if batched
+        else "batching never engaged — the snapshot measured a serial daemon",
+    )
+    # The warm pass completes in milliseconds, so its wall clock is
+    # noisy; a wide floor still catches the failure that matters — a
+    # broken artifact cache collapses the ratio to ~1.
+    _check_ratio(
+        ratchet,
+        "serve: warm-cache speedup [warm_vs_cold]",
+        committed.get("speedup", {}).get("warm_vs_cold"),
+        fresh.get("speedup", {}).get("warm_vs_cold"),
+        max(tolerance, 0.75),
+    )
+
+
 def _generate(kind: str, committed: Dict[str, Any], args, out: Path) -> None:
     """Run the matching snapshot script in-process, writing ``out``."""
     benchmarks = args.benchmarks or ",".join(committed["benchmarks"])
@@ -344,6 +381,35 @@ def _generate(kind: str, committed: Dict[str, Any], args, out: Path) -> None:
     status = main(argv)
     if status:
         raise RuntimeError(f"snapshot_{kind} failed with exit status {status}")
+
+
+def _generate_serve(committed: Dict[str, Any], args, out: Path) -> None:
+    """Regenerate the serve snapshot with the committed configuration.
+
+    ``snapshot_serve`` has no ``--scale``/``--repeats`` axes — its
+    shape is fully described by the committed snapshot's own fields.
+    """
+    from benchmarks.snapshot_serve import main
+
+    argv = [
+        "--benchmarks", ",".join(committed["benchmarks"]),
+        "--bits", str(committed["bits"]),
+        "--budget", committed["budget"],
+        "--seeds", str(committed["seeds"]),
+        "--clients", str(committed["clients"]),
+        "--backend", committed["backend"],
+        "--jobs", str(committed["jobs"]),
+        "--out", str(out),
+    ]
+    print(
+        "[check_regression] generating fresh serve snapshot "
+        f"({','.join(committed['benchmarks'])}, "
+        f"backend={committed['backend']})...",
+        file=sys.stderr,
+    )
+    status = main(argv)
+    if status:
+        raise RuntimeError(f"snapshot_serve failed with exit status {status}")
 
 
 def main(argv=None) -> int:
@@ -379,6 +445,16 @@ def main(argv=None) -> int:
         help="pre-generated fresh packed snapshot (skips the run)",
     )
     parser.add_argument(
+        "--serve",
+        default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="committed serve-daemon baseline",
+    )
+    parser.add_argument(
+        "--fresh-serve",
+        default=None,
+        help="pre-generated fresh serve snapshot (skips the run)",
+    )
+    parser.add_argument(
         "--benchmarks",
         default=None,
         help="comma-separated subset for the fresh runs "
@@ -400,6 +476,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--skip-packed", action="store_true", help="skip the packed baseline"
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true", help="skip the serve baseline"
     )
     args = parser.parse_args(argv)
 
@@ -432,6 +511,15 @@ def main(argv=None) -> int:
                 _generate("packed", committed, args, out)
                 fresh = _load(out)
             check_packed(ratchet, committed, fresh, args.tolerance)
+        if not args.skip_serve:
+            committed = _load(Path(args.serve))
+            if args.fresh_serve:
+                fresh = _load(Path(args.fresh_serve))
+            else:
+                out = Path(tmp) / "serve.json"
+                _generate_serve(committed, args, out)
+                fresh = _load(out)
+            check_serve(ratchet, committed, fresh, args.tolerance)
 
     print(ratchet.render())
     return 1 if ratchet.failed else 0

@@ -28,6 +28,11 @@ Commands
     and headline numbers of a ``BENCH_*.json`` snapshot.
 ``top``
     Live terminal view of a running ``--metrics-port`` campaign.
+``serve``
+    Run the compiler as a long-lived HTTP/JSON daemon: ``POST
+    /compile`` with a truth table, workload name, or full spec;
+    responses are byte-identical to offline ``repro compile``
+    (see ``docs/serving.md``).
 
 Every command accepts ``--trace out.jsonl`` (record a JSONL telemetry
 trace plus a run manifest) and ``--verbose`` (stderr progress lines);
@@ -40,7 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import AlgorithmConfig, approximate, obs, workloads
+from . import compile_api, obs, workloads
 from .core import serialize
 from .experiments import (
     ExperimentScale,
@@ -67,11 +72,8 @@ _SCALES = {
     "paper": ExperimentScale.paper,
 }
 
-_CONFIGS = {
-    "fast": AlgorithmConfig.fast,
-    "reduced": AlgorithmConfig.reduced,
-    "paper": AlgorithmConfig.paper_bssa,
-}
+#: named search budgets (shared with the serve daemon's request knob)
+_CONFIGS = compile_api.BUDGETS
 
 
 def _cmd_list(_args) -> int:
@@ -80,20 +82,21 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    target = workloads.get(args.benchmark, n_inputs=args.bits)
-    config = _CONFIGS[args.budget]()
-    if args.seed is not None:
-        config = config.with_seed(args.seed)
     print(
         f"compiling {args.benchmark} ({args.bits}-bit) onto "
         f"{args.architecture} with {args.algorithm} ..."
     )
-    lut = approximate(
-        target,
+    # The same compile_one() the serve daemon executes per request —
+    # one code path, byte-identical outputs (tests/serve pins this).
+    artifact = compile_api.compile_one(
+        args.benchmark,
+        bits=args.bits,
         architecture=args.architecture,
         algorithm=args.algorithm,
-        config=config,
+        budget=args.budget,
+        seed=args.seed,
     )
+    lut = artifact.lut
     print(f"MED: {lut.med:.4f}   modes: {lut.mode_counts()}")
     print(lut.hardware().report())
     if args.save:
@@ -383,6 +386,48 @@ def _cmd_top(args) -> int:
         time.sleep(args.interval)
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, ServeDaemon
+
+    try:
+        config = ServeConfig(
+            jobs=resolve_jobs(args.jobs),
+            backend=args.backend,
+            memo_dir=args.memo_dir,
+            artifact_dir=args.artifact_dir,
+            cache_size=args.cache_size,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            max_retries=args.retries,
+            rate=args.rate,
+            burst=args.burst,
+            request_timeout=args.request_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = ServeDaemon(config, host=args.host, port=args.port)
+    try:
+        daemon.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(
+            f"repro serve listening on {daemon.url} "
+            f"(backend={config.backend}, jobs={config.jobs})"
+        )
+        print(
+            "POST /compile — metrics at /metrics, health at /healthz "
+            "(docs/serving.md)"
+        )
+        daemon.serve_forever()
+        print("shutting down")
+    finally:
+        daemon.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     telemetry = argparse.ArgumentParser(add_help=False)
@@ -604,6 +649,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true", help="print one frame and exit"
     )
     top_parser.set_defaults(func=_cmd_top)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compiler as an HTTP/JSON daemon",
+        parents=[telemetry],
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (loopback default)"
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        help="pool worker processes (default: all CPUs)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="pool",
+        choices=["pool", "inline"],
+        help=(
+            "pool = warm worker processes with the shared OptForPart "
+            "memo, inline = compile in-process (single-core hosts, tests)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--memo-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the pool's shared OptForPart memo here",
+    )
+    serve_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "disk layer of the artifact cache: compiled artifacts are "
+            "stored content-addressed here and survive daemon restarts"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="in-memory artifact LRU capacity (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help=(
+            "how long the dispatcher gathers concurrent requests into "
+            "one pool batch (default %(default)ss)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="largest request batch per dispatch round (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per job after a worker error/death (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help=(
+            "token-bucket rate limit; over-limit requests get 429 + "
+            "Retry-After (default: unlimited)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=int,
+        default=16,
+        help="token-bucket burst depth (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="504 deadline for one compile request (default %(default)s)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

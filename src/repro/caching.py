@@ -147,6 +147,13 @@ class LruCache:
     pair stored through :meth:`put` — the warm-pool workers use it to
     export exactly the entries a job computed (entries seeded through
     :meth:`import_entries` are deliberately not journalled).
+
+    ``register=False`` keeps the instance out of the process-wide
+    registry, exempting it from :func:`clear_caches`.  The per-run
+    cache clearing in :meth:`RunSpec.execute` exists to isolate the
+    *kernel* caches between runs; caches that must outlive individual
+    runs — the serve daemon's compiled-artifact cache runs in the same
+    process as its inline backend — opt out here.
     """
 
     def __init__(
@@ -155,6 +162,7 @@ class LruCache:
         maxsize: int,
         aggregate: Optional[str] = None,
         eviction_counter: Optional[str] = None,
+        register: bool = True,
     ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
@@ -167,7 +175,8 @@ class LruCache:
         self.evictions = 0
         self.journal: Optional[List] = None
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        _REGISTRY.append(self)
+        if register:
+            _REGISTRY.append(self)
 
     def __len__(self) -> int:
         return len(self._data)

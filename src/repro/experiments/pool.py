@@ -731,6 +731,25 @@ class WorkerPool:
     def has_idle(self) -> bool:
         return any(w.job is None for w in self._workers)
 
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.job is not None)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-facing snapshot (the serve daemon's ``/state`` block).
+
+        Only the owning thread may call this (like ``submit``/``wait``
+        — the pool is not thread-safe); the serve dispatcher and the
+        campaign engine both satisfy that by construction.
+        """
+        return {
+            "workers": self.n_workers,
+            "busy": self.busy_count(),
+            "alive": sum(1 for w in self._workers if w.process.is_alive()),
+            "memo_entries": len(self.memo_log),
+            "memo_capacity": self.memo_capacity,
+            "arena_tables": len(self.arena),
+        }
+
     def submit(
         self,
         index: int,

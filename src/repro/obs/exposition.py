@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from .core import Histogram, Telemetry
 
 __all__ = [
+    "HardenedHTTPServer",
     "MetricsHub",
     "MetricsServer",
     "active_hub",
@@ -54,6 +55,11 @@ __all__ = [
 
 #: seconds without a heartbeat before a worker is reported stale
 WORKER_STALE_SECONDS = 10.0
+
+#: per-connection socket timeout — a client that stops sending (or
+#: reading) mid-request is disconnected instead of wedging its handler
+#: thread forever
+REQUEST_TIMEOUT = 30.0
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -427,7 +433,25 @@ def render_top(state: Dict[str, Any]) -> str:
     if memo_hits:
         lines.append(f"pool memo hits: {int(memo_hits)}")
 
-    for name in ("run.med", "engine.job_seconds", "opt.for_part_seconds"):
+    serve_requests = counters.get("serve.requests", 0)
+    if serve_requests:
+        lines.append(
+            "serve: {requests} requests — {hits} cache hits, "
+            "{coalesced} coalesced, {batched} batched jobs".format(
+                requests=int(serve_requests),
+                hits=int(counters.get("serve.cache_hit", 0)),
+                coalesced=int(counters.get("serve.coalesced", 0)),
+                batched=int(counters.get("serve.batched_jobs", 0)),
+            )
+        )
+
+    for name in (
+        "run.med",
+        "engine.job_seconds",
+        "opt.for_part_seconds",
+        "serve.request_seconds",
+        "serve.batch_size",
+    ):
         payload = histograms.get(name)
         if not payload or not payload.get("count"):
             continue
@@ -443,21 +467,52 @@ def render_top(state: Dict[str, Any]) -> str:
 # ----------------------------------------------------------------------
 
 
+class HardenedHTTPServer(ThreadingHTTPServer):
+    """`ThreadingHTTPServer` hardened for long-lived daemons.
+
+    ``allow_reuse_address`` sets ``SO_REUSEADDR`` before bind, so a
+    daemon restarted right after a crash can rebind its port instead
+    of dying with ``EADDRINUSE`` while the old socket sits in
+    ``TIME_WAIT``.  Handler threads are daemonic: a wedged connection
+    never blocks process exit.  The listen backlog is raised from
+    socketserver's default of 5 — a burst of concurrent clients (the
+    serve daemon's normal load) must queue, not get connection resets.
+    (The per-connection socket timeout lives on the handler class —
+    see ``_Handler.timeout``.)
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+    request_queue_size = 128
+
+
 class MetricsServer:
     """Serve a hub over HTTP from a daemon thread.
 
     ``port=0`` binds an ephemeral port; read the chosen one from
     ``server.port`` after construction.  Binding is loopback-only by
     default — forward the port if a remote Prometheus must scrape it.
+
+    ``handler_base`` lets callers mount extra routes (the serve daemon
+    adds ``POST /compile``) by passing a ``_Handler`` subclass;
+    ``request_timeout`` tunes the per-connection socket timeout.
     """
 
     def __init__(
-        self, hub: MetricsHub, port: int = 0, host: str = "127.0.0.1"
+        self,
+        hub: MetricsHub,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        handler_base: Optional[type] = None,
+        request_timeout: float = REQUEST_TIMEOUT,
     ) -> None:
         self.hub = hub
-        handler = type("_HubHandler", (_Handler,), {"hub": hub})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        handler = type(
+            "_HubHandler",
+            (handler_base or _Handler,),
+            {"hub": hub, "timeout": request_timeout},
+        )
+        self._httpd = HardenedHTTPServer((host, port), handler)
         self.host = host
         self.port = self._httpd.server_address[1]
         self._thread: Optional[threading.Thread] = None
@@ -493,26 +548,47 @@ class MetricsServer:
 class _Handler(BaseHTTPRequestHandler):
     hub: MetricsHub  # injected via subclass in MetricsServer
 
+    #: per-connection socket timeout (StreamRequestHandler applies it
+    #: in setup(); a stalled client trips socket.timeout and the
+    #: connection is closed instead of wedging its thread)
+    timeout: float = REQUEST_TIMEOUT
+
+    def route_get(self, path: str) -> Optional[Tuple[bytes, str]]:
+        """Resolve a GET path to ``(body, content_type)`` or ``None``.
+
+        Subclasses (the serve daemon) extend this and fall back to
+        ``super().route_get(path)`` for the stock endpoints.
+        """
+        if path == "/metrics":
+            return (
+                render_prometheus(self.hub.snapshot()).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/healthz":
+            return (
+                json.dumps(self.hub.healthz(), sort_keys=True).encode(),
+                "application/json",
+            )
+        if path == "/state":
+            return (
+                json.dumps(
+                    self.hub.snapshot(), sort_keys=True, default=str
+                ).encode(),
+                "application/json",
+            )
+        return None
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.split("?", 1)[0]
         try:
-            if path == "/metrics":
-                body = render_prometheus(self.hub.snapshot()).encode("utf-8")
-                ctype = "text/plain; version=0.0.4; charset=utf-8"
-            elif path == "/healthz":
-                body = json.dumps(self.hub.healthz(), sort_keys=True).encode()
-                ctype = "application/json"
-            elif path == "/state":
-                body = json.dumps(
-                    self.hub.snapshot(), sort_keys=True, default=str
-                ).encode()
-                ctype = "application/json"
-            else:
-                self.send_error(404, "unknown path (try /metrics, /healthz)")
-                return
+            resolved = self.route_get(path)
         except Exception as exc:  # never let a scrape kill the server
             self.send_error(500, f"snapshot failed: {exc}")
             return
+        if resolved is None:
+            self.send_error(404, "unknown path (try /metrics, /healthz)")
+            return
+        body, ctype = resolved
         self.send_response(200)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))

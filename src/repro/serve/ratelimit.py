@@ -1,0 +1,62 @@
+"""Token-bucket rate limiting for the serve daemon.
+
+Classic continuous-refill bucket: ``rate`` tokens/second accrue up to
+a ``burst`` ceiling; a request costs one token.  When the bucket is
+dry, :meth:`TokenBucket.try_acquire` reports how long until the next
+token — the daemon turns that into ``429`` with a ``Retry-After``
+header.  The clock is injectable so the tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Tuple
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Thread-safe token bucket (``rate`` per second, ``burst`` deep)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 16,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._updated, 0.0)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Take ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the seconds until the bucket will hold
+        ``cost`` tokens again.
+        """
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            return False, (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

@@ -246,3 +246,44 @@ class TestTopRendering:
         assert "backend=pool" in frame
         assert "opt cache: 75.0% hit" in frame
         assert "run.med" in frame
+
+
+class TestHardenedServer:
+    def test_reuse_address_and_daemon_threads(self):
+        from repro.obs.exposition import REQUEST_TIMEOUT, HardenedHTTPServer
+        from repro.obs.exposition import _Handler
+
+        assert HardenedHTTPServer.allow_reuse_address is True
+        assert HardenedHTTPServer.daemon_threads is True
+        assert HardenedHTTPServer.request_queue_size >= 16
+        assert _Handler.timeout == REQUEST_TIMEOUT
+
+    def test_port_rebinds_immediately_after_stop(self):
+        # without SO_REUSEADDR a just-closed listening port lingers in
+        # TIME_WAIT and an immediate restart fails with EADDRINUSE
+        hub = MetricsHub(Telemetry())
+        with MetricsServer(hub, port=0) as server:
+            port = server.port
+        with MetricsServer(hub, port=port) as server:
+            assert server.port == port
+            with urllib.request.urlopen(f"{server.url}/healthz") as response:
+                assert json.load(response)["status"] == "ok"
+
+    def test_stalled_client_times_out_without_wedging_server(self):
+        import socket
+
+        hub = MetricsHub(Telemetry())
+        with MetricsServer(hub, port=0, request_timeout=0.2) as server:
+            stalled = socket.create_connection(("127.0.0.1", server.port))
+            try:
+                stalled.sendall(b"GET /metr")  # never finishes the request
+                stalled.settimeout(5)
+                # the per-connection timeout closes it from the server side
+                assert stalled.recv(1024) == b""
+            except ConnectionResetError:
+                pass  # also an acceptable way for the close to surface
+            finally:
+                stalled.close()
+            # and the server still answers well-formed requests
+            with urllib.request.urlopen(f"{server.url}/healthz") as response:
+                assert json.load(response)["status"] == "ok"

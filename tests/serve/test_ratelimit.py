@@ -1,0 +1,78 @@
+"""Token-bucket rate limiter (deterministic via an injected clock)."""
+
+import threading
+
+import pytest
+
+from repro.serve.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        for _ in range(3):
+            allowed, retry = bucket.try_acquire()
+            assert allowed and retry == 0.0
+        allowed, retry = bucket.try_acquire()
+        assert not allowed
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(0.25)  # half a token back
+        allowed, retry = bucket.try_acquire()
+        assert not allowed
+        assert retry == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.try_acquire() == (True, 0.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(60)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_monotonic_clock_regression_is_harmless(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        clock.advance(-5)  # never refills negatively
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_thread_safety_conserves_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=50, clock=clock)
+        granted = []
+
+        def worker():
+            for _ in range(20):
+                allowed, _ = bucket.try_acquire()
+                if allowed:
+                    granted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(granted) == 50  # exactly the burst, never more
