@@ -253,10 +253,11 @@ def main(argv=None) -> int:
 
     executed = counters.get("serve.executed", 0)
     batched = counters.get("serve.batched_jobs", 0)
+    batches = counters.get("serve.batches", 0)
     snapshot["batching"] = {
         "executed": executed,
         "batched_jobs": batched,
-        "batches": counters.get("serve.batches", 0),
+        "batches": batches,
         "ratio": (batched / executed) if executed else 0.0,
         "retries": counters.get("serve.retries", 0),
     }
@@ -265,6 +266,23 @@ def main(argv=None) -> int:
             "FAIL: cross-request batching never engaged — widen "
             "--batch-window or raise --clients; a serial daemon "
             "snapshot ratchets nothing",
+            file=sys.stderr,
+        )
+        return 1
+
+    # kernel-level fusion: gathered batches dispatched as fused
+    # opt_for_part_many jobs (one per batch inline, one per idle worker
+    # on the pool backend) rather than per-job kernel calls
+    fusion_batched = counters.get("serve.fusion_batched", 0)
+    snapshot["fusion"] = {
+        "fusion_batched": fusion_batched,
+        "ratio": (fusion_batched / batches) if batches else 0.0,
+    }
+    if not fusion_batched:
+        print(
+            "FAIL: no gathered batch was dispatched as a fused kernel "
+            "job — the daemon fell back to per-job dispatch "
+            "(docs/serving.md)",
             file=sys.stderr,
         )
         return 1

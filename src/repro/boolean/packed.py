@@ -39,6 +39,7 @@ __all__ = [
     "cofactor",
     "restrict",
     "PackedTable",
+    "WeightPlanes",
 ]
 
 WORD_BITS = 64
@@ -177,6 +178,65 @@ def restrict(words: np.ndarray, length: int, assignment: Dict[int, int]) -> np.n
         out = cofactor(out, length, var, assignment[var])
         length //= 2
     return out
+
+
+class WeightPlanes:
+    """Bit-plane decomposition of a non-negative integer weight vector.
+
+    ``WeightPlanes(w)`` stores plane ``b`` as the packed 0/1 vector of
+    bit ``b`` of every weight, so a *weighted popcount* over any packed
+    mask — ``sum(w[i] for set bits i of mask)`` — becomes one popcount
+    per plane folded with Python-int (arbitrary-precision) arithmetic:
+
+        masked_sum(mask) = sum_b 2**b * popcount(planes[b] & mask)
+
+    This is the per-output-bit weighted-popcount primitive behind the
+    widened packed-kernel eligibility gate
+    (:func:`repro.core.opt_for_part._packed_eligible`): the gate needs
+    the *exact* integer total ``sum_i cost_i * w_i`` for weight vectors
+    scaled out of a general (non-constant) input distribution, and the
+    plane fold accumulates it without ever rounding — every partial is
+    an exact int, however large.
+    """
+
+    __slots__ = ("length", "planes")
+
+    def __init__(self, weights: np.ndarray) -> None:
+        w = np.asarray(weights)
+        if w.ndim != 1:
+            raise ValueError("WeightPlanes expects a flat weight vector")
+        if w.size == 0:
+            raise ValueError("WeightPlanes needs at least one weight")
+        if not np.issubdtype(w.dtype, np.integer):
+            raise ValueError("WeightPlanes needs integer weights")
+        if int(w.min()) < 0:
+            raise ValueError("WeightPlanes needs non-negative weights")
+        bits = int(w.max()).bit_length()
+        if bits:
+            shifts = np.arange(bits, dtype=w.dtype)
+            plane_bits = ((w[None, :] >> shifts[:, None]) & 1).astype(np.uint8)
+            planes = pack_bits(plane_bits)
+        else:  # all-zero weights: a single zero plane keeps shapes sane
+            planes = np.zeros((1, n_words(w.size)), dtype=_WORD_DTYPE)
+        planes.setflags(write=False)
+        self.length = int(w.size)
+        self.planes = planes
+
+    def masked_sum(self, mask_words: np.ndarray) -> int:
+        """Exact ``sum(w[i] for set bits i of mask)`` as a Python int."""
+        mask = np.asarray(mask_words, dtype=np.uint64)
+        if mask.shape != (self.planes.shape[-1],):
+            raise ValueError("mask/plane word-count mismatch")
+        counts = popcount(np.bitwise_and(self.planes, mask[None, :]), axis=-1)
+        total = 0
+        for bit, count in enumerate(counts):
+            total += int(count) << bit
+        return total
+
+    def total(self) -> int:
+        """Exact sum of all weights (``masked_sum`` of the full mask)."""
+        full = np.full(self.planes.shape[-1], ~np.uint64(0), dtype=np.uint64)
+        return self.masked_sum(full)
 
 
 class PackedTable:

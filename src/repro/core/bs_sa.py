@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -114,23 +114,25 @@ def _collect_neighbours(
 
 def _draw_patterns(
     partitions: List[Partition], config: AlgorithmConfig, rng: np.random.Generator
-) -> List[np.ndarray]:
-    """Initial-pattern draws for a batch, in serial call order.
+) -> np.ndarray:
+    """Initial-pattern draws for a batch, stacked, in serial call order.
 
     Taking the draws here — one per partition, in encounter order —
     consumes the generator stream exactly as a loop of single
     ``opt_for_part`` calls would, which is what keeps every later draw
-    (SA acceptance tests, subsequent bits) bit-identical.
+    (SA acceptance tests, subsequent bits) bit-identical.  The draws
+    land directly in one preallocated ``(N, Z, cols)`` stack, so the
+    whole generation is materialised (and later memo-digested) once
+    per batch instead of once per item.
     """
-    return [
-        rng.integers(
-            0,
-            2,
-            size=(config.n_initial_patterns, partition.n_cols),
-            dtype=np.uint8,
+    z = config.n_initial_patterns
+    cols = partitions[0].n_cols if partitions else 0
+    stacked = np.empty((len(partitions), z, cols), dtype=np.uint8)
+    for index, partition in enumerate(partitions):
+        stacked[index] = rng.integers(
+            0, 2, size=(z, partition.n_cols), dtype=np.uint8
         )
-        for partition in partitions
-    ]
+    return stacked
 
 
 def find_best_settings(
@@ -200,7 +202,7 @@ def find_best_settings(
         return record(partition, result)
 
     def visit_batch(
-        partitions: List[Partition], patterns: List[np.ndarray]
+        partitions: List[Partition], patterns: Union[np.ndarray, List[np.ndarray]]
     ) -> List[float]:
         """Batched OptForPart over same-shape partitions, serial order.
 
@@ -243,7 +245,17 @@ def find_best_settings(
                     continue
                 sampled.add(partition)
                 order.append(partition)
-                drawn.extend(_draw_patterns([partition], config, rng))
+                # one direct draw per accepted partition (the stream
+                # interleaves with partition sampling, so the batch
+                # stack cannot be preallocated up front)
+                drawn.append(
+                    rng.integers(
+                        0,
+                        2,
+                        size=(config.n_initial_patterns, partition.n_cols),
+                        dtype=np.uint8,
+                    )
+                )
             visit_batch(order, drawn)
         else:
             attempts = 0

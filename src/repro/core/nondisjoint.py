@@ -15,15 +15,17 @@ enumerates every bound variable and keeps the best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import caching
 from ..boolean import ops
 from ..boolean.decomposition import MultiSharedDecomposition, NonDisjointDecomposition
 from ..boolean.partition import Partition
 from .cost import BitCosts
-from .opt_for_part import opt_for_part
+from .fusion import current_hub
+from .opt_for_part import KernelRequest, opt_for_part, opt_for_part_grouped
 
 __all__ = [
     "NonDisjointResult",
@@ -58,6 +60,28 @@ def _reduced_partition(partition: Partition, shared: int) -> Partition:
     )
 
 
+def _half_problem(
+    costs: BitCosts,
+    p: np.ndarray,
+    reduced_words: np.ndarray,
+    keep: List[int],
+    assignment: int,
+) -> Tuple[BitCosts, np.ndarray]:
+    """Conditional cost vectors + weights for one shared-bit assignment.
+
+    ``assignment`` is the already-positioned shared-bit value (e.g.
+    ``j << shared``); the reduced input words are scattered over
+    ``keep`` and OR-ed with it, selecting the cofactor slice of the
+    cost vectors and the (unnormalised) conditional distribution.
+    Shared by the serial and fused candidate loops so both solve the
+    byte-identical half problems.
+    """
+    full = ops.deposit_bits(reduced_words, keep) | assignment
+    half_costs = BitCosts(costs.k, costs.cost0[full], costs.cost1[full])
+    weights = np.asarray(p, dtype=np.float64)[full]
+    return half_costs, weights
+
+
 def optimize_nondisjoint_shared(
     costs: BitCosts,
     p: np.ndarray,
@@ -89,9 +113,9 @@ def optimize_nondisjoint_shared(
     halves = []
     total_error = 0.0
     for j in (0, 1):
-        full = ops.deposit_bits(reduced_words, keep) | (j << shared)
-        half_costs = BitCosts(costs.k, costs.cost0[full], costs.cost1[full])
-        weights = np.asarray(p, dtype=np.float64)[full]
+        half_costs, weights = _half_problem(
+            costs, p, reduced_words, keep, j << shared
+        )
         result = opt_for_part(
             half_costs,
             weights,
@@ -128,12 +152,27 @@ def optimize_nondisjoint(
 
     ``shared_candidates`` restricts the enumeration (defaults to the
     full bound set, as the paper does).
+
+    With the fast paths on and an explicit ``rng``, the whole
+    enumeration is *fused*: the per-half initial patterns are pre-drawn
+    in exactly the serial call order, every conditional half problem
+    becomes a :class:`~repro.core.opt_for_part.KernelRequest`, and all
+    ``2 * len(candidates)`` halves run in one
+    :func:`~repro.core.opt_for_part.opt_for_part_grouped` pass (or
+    through the ambient :class:`~repro.core.fusion.FusionHub`, fusing
+    wider still across concurrent callers).  The generator stream and
+    every returned bit match the serial loop; strict ``<`` keeps the
+    first-best tie-breaking.
     """
     candidates = (
         tuple(shared_candidates) if shared_candidates is not None else partition.bound
     )
     if not candidates:
         raise ValueError("at least one shared-bit candidate is required")
+    if rng is not None and caching.fast_paths_enabled():
+        return _optimize_nondisjoint_fused(
+            costs, p, partition, n_inputs, candidates, n_initial_patterns, rng
+        )
     best: Optional[NonDisjointResult] = None
     for shared in candidates:
         result = optimize_nondisjoint_shared(
@@ -147,6 +186,71 @@ def optimize_nondisjoint(
         )
         if best is None or result.error < best.error:
             best = result
+    assert best is not None
+    return best
+
+
+def _optimize_nondisjoint_fused(
+    costs: BitCosts,
+    p: np.ndarray,
+    partition: Partition,
+    n_inputs: int,
+    candidates: Tuple[int, ...],
+    n_initial_patterns: int,
+    rng: np.random.Generator,
+) -> NonDisjointResult:
+    """Fused shared-bit enumeration; bitwise equal to the serial loop."""
+    if partition.n_bound < 2:
+        raise ValueError(
+            "non-disjoint decomposition needs a bound set of size >= 2 "
+            "(removing the shared bit must leave a non-empty bound table)"
+        )
+    for shared in candidates:
+        if shared not in partition.bound:
+            raise ValueError(f"shared variable {shared} not in bound set")
+    if n_initial_patterns < 1:
+        raise ValueError("n_initial_patterns must be >= 1")
+    reduced_words = ops.all_inputs(n_inputs - 1)
+    requests: List[KernelRequest] = []
+    reductions: List[Partition] = []
+    for shared in candidates:
+        reduced = _reduced_partition(partition, shared)
+        reductions.append(reduced)
+        keep = [i for i in range(n_inputs) if i != shared]
+        for j in (0, 1):
+            # the serial loop's opt_for_part draws happen candidate-
+            # major, half-minor — replicate that exact stream here
+            patterns = rng.integers(
+                0, 2, size=(n_initial_patterns, reduced.n_cols), dtype=np.uint8
+            )
+            half_costs, weights = _half_problem(
+                costs, p, reduced_words, keep, j << shared
+            )
+            requests.append(
+                KernelRequest(
+                    half_costs, weights, [reduced], n_inputs - 1, patterns[None]
+                )
+            )
+    hub = current_hub()
+    if hub is not None:
+        evaluated = hub.evaluate_many(requests)
+    else:
+        evaluated = opt_for_part_grouped(requests)
+    best: Optional[NonDisjointResult] = None
+    for index, shared in enumerate(candidates):
+        half0 = evaluated[2 * index][0]
+        half1 = evaluated[2 * index + 1][0]
+        error = half0.error + half1.error
+        if best is None or error < best.error:
+            decomposition = NonDisjointDecomposition(
+                partition,
+                shared,
+                half0.decomposition.pattern,
+                half0.decomposition.types,
+                half1.decomposition.pattern,
+                half1.decomposition.types,
+            )
+            best = NonDisjointResult(error, decomposition)
     assert best is not None
     return best
 
@@ -206,11 +310,49 @@ def optimize_multi_shared(
     patterns = []
     types = []
     total_error = 0.0
+    if rng is not None and caching.fast_paths_enabled():
+        # fused: pre-draw each cofactor's patterns in the serial call
+        # order and solve all 2**s conditional problems in one grouped
+        # kernel pass — bitwise equal to the loop below
+        if n_initial_patterns < 1:
+            raise ValueError("n_initial_patterns must be >= 1")
+        requests = []
+        for j in range(1 << len(shared)):
+            assignment = ops.deposit_bits(np.int64(j), shared)
+            draw = rng.integers(
+                0, 2, size=(n_initial_patterns, reduced.n_cols), dtype=np.uint8
+            )
+            half_costs, weights = _half_problem(
+                costs, p, reduced_words, keep, assignment
+            )
+            requests.append(
+                KernelRequest(
+                    half_costs,
+                    weights,
+                    [reduced],
+                    n_inputs - len(shared),
+                    draw[None],
+                )
+            )
+        hub = current_hub()
+        evaluated = (
+            hub.evaluate_many(requests)
+            if hub is not None
+            else opt_for_part_grouped(requests)
+        )
+        for (result,) in evaluated:
+            patterns.append(result.decomposition.pattern)
+            types.append(result.decomposition.types)
+            total_error += result.error
+        decomposition = MultiSharedDecomposition(
+            partition, shared, tuple(patterns), tuple(types)
+        )
+        return MultiSharedResult(total_error, decomposition)
     for j in range(1 << len(shared)):
         assignment = ops.deposit_bits(np.int64(j), shared)
-        full = ops.deposit_bits(reduced_words, keep) | assignment
-        half_costs = BitCosts(costs.k, costs.cost0[full], costs.cost1[full])
-        weights = np.asarray(p, dtype=np.float64)[full]
+        half_costs, weights = _half_problem(
+            costs, p, reduced_words, keep, assignment
+        )
         result = opt_for_part(
             half_costs,
             weights,

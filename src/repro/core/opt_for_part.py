@@ -48,19 +48,40 @@ On top of the batching, a packed fast sweep engages when (a) the
 fast-path switch is on, (b) the packed-kernel switch is on
 (``REPRO_PACKED_KERNEL``, :func:`repro.caching.packed_kernel`), and
 (c) the instance passes the *dyadic-exactness* gate of
-:func:`_packed_eligible`: a constant input distribution and
-integer-valued cost vectors small enough that every intermediate the
-kernel forms is an integer multiple of one dyadic scale below 2**53.
-Under that gate every float64 the sweep produces is exact, so the
-algebraically restructured half-steps (:class:`_PackedSweep`) —
-complement costs from hoisted row sums instead of two extra matmuls,
-zero-costs from one shared-sum matmul, pairwise type selection with
-reference tie-breaking — return bit-for-bit the reference kernel's
-patterns, types, and totals while running a fraction of its work.
-Ineligible instances (non-constant ``p``, fractional costs) silently
+:func:`_packed_eligible`: integer-valued cost vectors together with an
+input distribution whose weights all scale to integers on one dyadic
+unit ``2**U``, small enough that every intermediate the kernel forms
+is an integer multiple of ``2**(U-1)`` below 2**53.  Constant
+distributions (the protocol default) pass through a closed-form bound;
+general weighted distributions are admitted by computing the exact
+integer total ``sum_i (cost0_i + cost1_i) * w_i`` through per-bit
+weighted popcounts over packed bit-planes
+(:class:`repro.boolean.packed.WeightPlanes`) — integer accumulation,
+so the verdict itself never rounds.  Under that gate every float64 the
+sweep produces is exact, so the algebraically restructured half-steps
+(:class:`_PackedSweep`) — complement costs from hoisted row sums
+instead of two extra matmuls, zero-costs from one shared-sum matmul,
+pairwise type selection with reference tie-breaking — return
+bit-for-bit the reference kernel's patterns, types, and totals while
+running a fraction of its work.  Ineligible instances (weights that
+need more than 52 bits on a common scale, fractional costs) silently
 take the reference sweep; ``REPRO_FAST_PATHS=0`` disables the whole
-tier.  The differential harness in ``tests/core/test_fast_paths.py``
-and ``tests/core/test_packed_kernel.py`` pins the equivalence.
+tier.  The differential harness in ``tests/core/test_fast_paths.py``,
+``tests/core/test_packed_kernel.py`` and ``tests/core/test_fusion.py``
+pins the equivalence.
+
+Cross-caller fusion
+-------------------
+:func:`opt_for_part_grouped` evaluates a *list* of
+:class:`KernelRequest` batches — possibly from different ``(costs,
+p)`` contexts — in one pass: items are grouped by table shape and
+eligibility, deduplicated by memo digest, and executed in chunks up to
+``_BATCH_LIMIT`` wide, each item bitwise equal to its standalone call.
+:class:`repro.core.fusion.FusionHub` routes concurrent callers'
+``opt_for_part`` / ``opt_for_part_many`` invocations here so serve
+batches and fused campaign runs share kernel dispatches; engagement is
+visible as ``opt.fused_calls`` / ``opt.fused_items`` and the
+``opt.fused_width`` histogram.
 """
 
 from __future__ import annotations
@@ -79,18 +100,21 @@ from ..boolean.decomposition import (
     DisjointDecomposition,
     RowType,
 )
-from ..boolean.packed import pack_bits
+from ..boolean.packed import WeightPlanes, pack_bits
 from ..boolean.partition import Partition
-from ..boolean.truth_table import gather_index, row_col_indices, to_matrix
+from ..boolean.truth_table import gather_index, to_matrix
 from .cost import BitCosts
+from .fusion import current_hub
 
 __all__ = [
     "OptForPartResult",
     "OptMemo",
+    "KernelRequest",
     "memo_context",
     "result_memo",
     "opt_for_part",
     "opt_for_part_many",
+    "opt_for_part_grouped",
     "opt_for_part_bto",
     "opt_for_part_exhaustive",
     "opt_for_part_exhaustive_many",
@@ -122,25 +146,18 @@ _RESULT_MEMO = caching.LruCache(
     eviction_counter="opt.memo_evictions",
 )
 
-#: (gather permutation, row index) pairs for the packed gather loop —
-#: one cache probe per item instead of two against the truth-table
-#: caches (same 1024-partition sizing rationale as those)
-_PACKED_INDEX_CACHE = caching.LruCache("opt.packed_index", maxsize=1024)
+def _partition_axes(partition: Partition, n_inputs: int) -> Tuple[int, ...]:
+    """Transpose axes mapping the flat weight grid to ``partition``'s table.
 
-
-def _packed_index(
-    partition: Partition, n_inputs: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Cached ``(gather, rows)`` index pair for the packed fast path."""
-    key = (partition, n_inputs)
-    cached = _PACKED_INDEX_CACHE.get(key)
-    if cached is None:
-        cached = (
-            gather_index(partition, n_inputs),
-            row_col_indices(partition, n_inputs)[0],
-        )
-        _PACKED_INDEX_CACHE.put(key, cached)
-    return cached
+    A weight vector reshaped to ``(2,) * n_inputs`` (axis 0 = the most
+    significant input bit) and transposed by these axes reads out, when
+    flattened, exactly the ``gather_index`` permutation of the vector:
+    the first ``n_free`` axes enumerate rows, the rest columns.  Unlike
+    a fancy ``take`` over a precomputed index array, the transpose is a
+    view — the gather is a single strided copy with no index traffic.
+    """
+    order = (*reversed(partition.free), *reversed(partition.bound))
+    return tuple(n_inputs - 1 - bit for bit in order)
 
 
 def result_memo() -> caching.LruCache:
@@ -189,13 +206,14 @@ class OptMemo:
     stay valid.
     """
 
-    __slots__ = ("context_key", "packed_ok")
+    __slots__ = ("context_key", "packed_ok", "packed_mode")
 
     def __init__(self, context_key: Tuple) -> None:
         self.context_key = context_key
-        # lazily cached packed-tier eligibility verdict for the bound
-        # (costs, p) pair — see _packed_engaged()
+        # lazily cached packed-tier eligibility verdict (and precision
+        # tier) for the bound (costs, p) pair — see _packed_mode_engaged()
         self.packed_ok: Optional[bool] = None
+        self.packed_mode: Optional[str] = None
 
     def normal_key(
         self, partition: Partition, patterns: np.ndarray, max_sweeps: int
@@ -451,45 +469,141 @@ def _optimal_patterns(
 
 
 def _packed_eligible(costs: BitCosts, p: np.ndarray) -> bool:
+    """Boolean view of :func:`_packed_mode` (any packed tier engages)."""
+    return _packed_mode(costs, p) is not None
+
+
+def _weighted_eligible(costs: BitCosts, p: np.ndarray) -> bool:
+    """Boolean view of :func:`_weighted_mode`."""
+    return _weighted_mode(costs, p) is not None
+
+
+def _packed_mode(costs: BitCosts, p: np.ndarray) -> Optional[str]:
     """Dyadic-exactness gate for the packed sweep.
 
-    True when every float the alternation forms is *exactly
-    representable*: the input distribution is one constant ``p0`` (a
-    dyadic rational, as every finite float is), the cost vectors are
-    non-negative integers, and the largest sum the kernel can build —
-    bounded by ``2 * odd_mantissa(p0) * (max0 + max1) * entries`` in
-    units of the dyadic scale — stays below 2**53.  Under those
-    conditions float64 arithmetic is exact in any association order,
-    so the restructured half-steps of :class:`_PackedSweep` are
-    bit-identical to the reference kernel.  Uniform distributions (the
-    protocol default) pass; truncated-Gaussian and geometric inputs
-    fall back to the reference sweep.
+    Returns the widest exact precision tier — ``"f32"``, ``"f64"``, or
+    ``None`` for the reference fallback.  A tier is admitted when every
+    float the alternation forms is *exactly representable* in it: the
+    cost vectors are non-negative integers and the input distribution's
+    weights all scale to integers ``w_i`` on one common dyadic unit
+    ``2**U`` with every sum the kernel can build staying below the
+    significand limit — ``2**53`` for float64, ``2**25`` for float32 —
+    in units of ``2**(U-1)`` (the half-scale covers the signed
+    ``msign`` trick in :class:`_PackedSweep`).  Under those conditions
+    the tier's arithmetic is exact in any association order, so the
+    restructured half-steps are bit-identical to the reference kernel;
+    the float32 tier additionally requires ``U >= -37`` so the
+    convergence test's ``1e-12`` slack resolves to the same verdict in
+    both precisions (totals are spaced ``2**U`` apart, far wider than
+    the slack or either tier's rounding radius).  Constant
+    distributions (every finite float is a dyadic rational) are
+    admitted through a closed-form worst-case bound; anything else goes
+    through :func:`_weighted_mode`, which computes the exact integer
+    total ``sum_i (cost0_i + cost1_i) * w_i`` by weighted popcounts —
+    so truncated-Gaussian and geometric inputs engage the packed tier
+    too whenever their weights share a representable dyadic scale.
     """
     p = np.asarray(p)
     if p.size == 0:
-        return False
-    p0 = float(p.flat[0])
-    if not (math.isfinite(p0) and p0 > 0.0):
-        return False
-    if not np.all(p == p0):
-        return False
+        return None
     c0, c1 = costs.cost0, costs.cost1
     # integer-valued (floor == value rejects NaN; infinities die below)
     if not (np.all(np.floor(c0) == c0) and np.all(np.floor(c1) == c1)):
-        return False
+        return None
     hi = float(c0.max()) + float(c1.max())
     if not math.isfinite(hi) or float(c0.min()) < 0.0 or float(c1.min()) < 0.0:
-        return False
-    mantissa, _ = math.frexp(p0)
-    m_int = int(mantissa * (1 << 53))
-    m_odd = m_int >> ((m_int & -m_int).bit_length() - 1)
-    return 2 * m_odd * int(hi) * c0.shape[0] < (1 << 53)
+        return None
+    p0 = float(p.flat[0])
+    if math.isfinite(p0) and p0 > 0.0 and bool(np.all(p == p0)):
+        # constant distribution (the protocol default): one frexp and a
+        # closed-form bound — ``entries`` terms of at most ``hi * p0``
+        # each, in units of p0's dyadic scale
+        mantissa, exponent = math.frexp(p0)
+        m_int = int(mantissa * (1 << 53))
+        trailing = (m_int & -m_int).bit_length() - 1
+        m_odd = m_int >> trailing
+        bound = 2 * m_odd * int(hi) * c0.shape[0]
+        if bound < (1 << 53):
+            if bound < (1 << 25) and exponent - 53 + trailing >= -37:
+                return "f32"
+            # the closed-form bound proves f64; the exact weighted
+            # total may still prove f32 (it is never looser)
+            refined = _weighted_mode(costs, p)
+            return refined if refined == "f32" else "f64"
+        # the worst-case bound is loose; fall through to the exact one
+    return _weighted_mode(costs, p)
 
 
-def _packed_engaged(
+def _weighted_mode(costs: BitCosts, p: np.ndarray) -> Optional[str]:
+    """Exact dyadic gate for general weighted input distributions.
+
+    Writes each supported weight as ``p_i = w_i * 2**U`` with integer
+    ``w_i`` on the least common dyadic unit ``U``, then forms the exact
+    integer bound ``T = sum_i (cost0_i + cost1_i) * w_i`` via per-bit
+    weighted popcounts over the weights' packed bit-planes
+    (:class:`~repro.boolean.packed.WeightPlanes`).  Every accumulation
+    is in Python integers, so the verdict itself never rounds.  Any
+    partial sum of weighted-cost terms the kernel (packed *or*
+    reference) can form lies in ``[-T, T]`` in units of ``2**U``, and
+    the msign half-step's partial sums lie in ``[-T, T]`` in units of
+    ``2**(U-1)``; ``T < 2**52`` therefore guarantees every intermediate
+    is an exact float64 (``T < 2**24`` with ``U >= -37`` upgrades to
+    exact float32 — the same ``2 * T < 2**25`` half-unit budget the
+    closed-form constant-``p`` check applies — see
+    :func:`_packed_mode`).  Rejects (reference fallback): non-finite or
+    negative weights, weights whose integer form needs more than 52
+    bits on the common unit, per-entry cost sums at or above 2**52, or
+    a total ``T`` at or above 2**52.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if not bool(np.all(np.isfinite(p))) or float(p.min()) < 0.0:
+        return None
+    combined = np.asarray(
+        costs.cost0, dtype=np.float64
+    ) + np.asarray(costs.cost1, dtype=np.float64)
+    support = (p > 0.0) & (combined > 0.0)
+    if not bool(support.any()):
+        # every product the kernel forms is exactly 0.0 in any tier
+        return "f32"
+    ps = p[support]
+    # p_i = m_int_i * 2**(exp_i - 53) with m_int in [2**52, 2**53) —
+    # exact by construction of frexp/ldexp
+    mant, exp = np.frexp(ps)
+    m_int = np.ldexp(mant, 53).astype(np.int64)
+    low = (m_int & -m_int).astype(np.float64)
+    trailing = np.frexp(low)[1] - 1
+    odd = m_int >> trailing
+    scale = exp.astype(np.int64) - 53 + trailing
+    unit = int(scale.min())
+    shift = scale - unit
+    # bail before shifting: odd << shift must stay within 52 bits both
+    # to avoid int64 overflow and to keep T's terms bounded
+    odd_bits = np.frexp(odd.astype(np.float64))[1]
+    if int((odd_bits + shift).max()) > 52:
+        return None
+    w_int = odd << shift
+    comb = combined[support]
+    if float(comb.max()) >= float(1 << 52):
+        return None
+    comb_int = comb.astype(np.int64)
+    planes = WeightPlanes(w_int)
+    total = 0
+    for bit in range(int(comb_int.max()).bit_length()):
+        mask = pack_bits(((comb_int >> np.int64(bit)) & 1).astype(np.uint8))
+        total += planes.masked_sum(mask) << bit
+        if total >= (1 << 52):
+            return None
+    if total >= (1 << 52):
+        return None
+    if total < (1 << 24) and unit >= -37:
+        return "f32"
+    return "f64"
+
+
+def _packed_mode_engaged(
     costs: BitCosts, p: np.ndarray, memo: Optional["OptMemo"] = None
-) -> bool:
-    """Switches + eligibility, with engagement telemetry.
+) -> Optional[str]:
+    """Switches + eligibility tier, with engagement telemetry.
 
     The eligibility verdict depends only on ``(costs, p)``, so when the
     caller holds an :class:`OptMemo` (which binds exactly that pair)
@@ -497,17 +611,27 @@ def _packed_engaged(
     per search context instead of once per kernel call.
     """
     if not caching.packed_kernel_enabled():
-        return False
+        return None
     if memo is not None:
-        eligible = memo.packed_ok
-        if eligible is None:
-            eligible = _packed_eligible(costs, p)
-            memo.packed_ok = eligible
+        if memo.packed_ok is None:
+            mode = _packed_mode(costs, p)
+            memo.packed_ok = mode is not None
+            memo.packed_mode = mode
+        mode = memo.packed_mode
     else:
-        eligible = _packed_eligible(costs, p)
+        mode = _packed_mode(costs, p)
     if obs.enabled():
-        obs.incr("opt.packed_calls" if eligible else "opt.packed_ineligible")
-    return eligible
+        obs.incr("opt.packed_calls" if mode else "opt.packed_ineligible")
+        if mode == "f32":
+            obs.incr("opt.packed_f32_calls")
+    return mode
+
+
+def _packed_engaged(
+    costs: BitCosts, p: np.ndarray, memo: Optional["OptMemo"] = None
+) -> bool:
+    """Boolean view of :func:`_packed_mode_engaged`."""
+    return _packed_mode_engaged(costs, p, memo) is not None
 
 
 class _PackedSweep:
@@ -537,7 +661,7 @@ class _PackedSweep:
     def __init__(
         self,
         diff: np.ndarray,
-        zero_cost: np.ndarray,
+        zero_cost: Optional[np.ndarray],
         one_cost: np.ndarray,
         z: int,
     ) -> None:
@@ -549,23 +673,41 @@ class _PackedSweep:
         # no transposes, and the row reduction runs over the contiguous
         # last axis.  Row-state arrays carry a broadcast axis so the
         # half-steps never rebuild views per sweep.
-        self.zc = zero_cost[:, None, :]
-        self.both = (zero_cost + one_cost)[:, None, :]
-        self.m01 = np.minimum(zero_cost, one_cost)[:, None, :]
-        # constant-row type by reference tie-breaking: ALL_ZERO unless
-        # the all-one row is strictly cheaper (argmin prefers index 0)
-        self.b01 = np.where(
-            one_cost < zero_cost, np.int8(_T_ONE), np.int8(_T_ZERO)
-        )[:, None, :]
+        if zero_cost is None:
+            # relative mode: every cost is shifted down by the per-row
+            # zero cost, which cancels out of *all* comparisons (both
+            # sides of each strict ``<`` shift by the same exact float)
+            # and re-enters the totals as one per-item scalar offset
+            # (see _alternate_packed).  ``one_cost`` then holds the row
+            # sums of ``diff`` — the only per-row state the sweep needs.
+            self.zc = None
+            self.both = one_cost[:, None, :]
+            self.m01 = np.minimum(0.0, one_cost)[:, None, :]
+            self.b01 = np.where(
+                one_cost < 0.0, np.int8(_T_ONE), np.int8(_T_ZERO)
+            )[:, None, :]
+        else:
+            self.zc = zero_cost[:, None, :]
+            self.both = (zero_cost + one_cost)[:, None, :]
+            self.m01 = np.minimum(zero_cost, one_cost)[:, None, :]
+            # constant-row type by reference tie-breaking: ALL_ZERO
+            # unless the all-one row is strictly cheaper (argmin
+            # prefers index 0)
+            self.b01 = np.where(
+                one_cost < zero_cost, np.int8(_T_ONE), np.int8(_T_ZERO)
+            )[:, None, :]
         # exact-sum reduction vector: under the eligibility gate a
-        # dgemv against ones is bitwise equal to ``pat.sum(axis=2)``
-        # in any association order, and roughly halves the dispatch
-        self.ones = np.ones(rows)
-        self.v = np.empty((batch, z, cols))
-        self.pat = np.empty((batch, z, rows))
-        self.comp = np.empty((batch, z, rows))
-        self.m4 = np.empty((batch, z, rows))
-        self.g = np.empty((batch, z, cols))
+        # gemv against ones is bitwise equal to ``pat.sum(axis=2)``
+        # in any association order, and roughly halves the dispatch.
+        # All scratch follows diff's dtype — float64, or float32 when
+        # the gate proved the narrower significand exact too.
+        dtype = diff.dtype
+        self.ones = np.ones(rows, dtype=dtype)
+        self.v = np.empty((batch, z, cols), dtype=dtype)
+        self.pat = np.empty((batch, z, rows), dtype=dtype)
+        self.comp = np.empty((batch, z, rows), dtype=dtype)
+        self.m4 = np.empty((batch, z, rows), dtype=dtype)
+        self.g = np.empty((batch, z, cols), dtype=dtype)
         self.u4 = np.empty((batch, z, rows), dtype=bool)
         self.uvt = np.empty((batch, z, rows), dtype=bool)
 
@@ -573,7 +715,8 @@ class _PackedSweep:
         """Drop converged items; state shrinks, buffers re-slice."""
         self.diff = self.diff[keep]
         self.diff_t = self.diff.transpose(0, 2, 1)
-        self.zc = self.zc[keep]
+        if self.zc is not None:
+            self.zc = self.zc[keep]
         self.both = self.both[keep]
         self.m01 = self.m01[keep]
         self.b01 = self.b01[keep]
@@ -604,7 +747,8 @@ def _packed_types_core(
         np.copyto(sweep.v, patterns)
     pat = sweep.pat
     np.matmul(sweep.v, sweep.diff_t, out=pat)
-    pat += sweep.zc
+    if sweep.zc is not None:
+        pat += sweep.zc
     comp = sweep.comp
     np.subtract(sweep.both, pat, out=comp)
     # among {pattern, complement}: argmin prefers the lower index, so
@@ -667,10 +811,11 @@ def _alternate_batch_packed(
 
 def _alternate_packed(
     diff: np.ndarray,
-    zero_cost: np.ndarray,
+    zero_cost: Optional[np.ndarray],
     one_cost: np.ndarray,
     patterns: np.ndarray,
     max_sweeps: int,
+    totals_offset: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Packed-tier :func:`_alternate_batch`: same loop, packed cores.
 
@@ -678,6 +823,18 @@ def _alternate_packed(
     reference driver line for line — only the half-step arithmetic is
     swapped, and the eligibility gate makes that swap bitwise
     invisible.
+
+    With ``zero_cost=None`` the sweep runs in *relative* mode:
+    ``one_cost`` holds the per-row sums of ``diff`` and every internal
+    cost is shifted down by the (never materialised) per-row zero
+    cost.  The shift cancels out of every comparison — both sides of
+    each strict ``<`` and of the convergence test move by the same
+    exact float — so masks, tie-breaks, and sweep counts are bitwise
+    identical to absolute mode.  The returned totals are re-based by
+    adding ``totals_offset`` (each item's total zero cost, an exact
+    dyadic-integer scalar), which restores the absolute values bit for
+    bit because every quantity involved is exact under the eligibility
+    gate.
     """
     batch, z = diff.shape[0], patterns.shape[1]
     sweep = _PackedSweep(diff, zero_cost, one_cost, z)
@@ -688,6 +845,8 @@ def _alternate_packed(
     out_sweeps = np.zeros(batch, dtype=np.int64)
     if max_sweeps < 1:
         types = _packed_types(use4, use_vt, sweep.b01)
+        if totals_offset is not None:
+            totals = totals + totals_offset[:, None]
         return patterns.copy(), types, totals, out_sweeps
 
     if batch == 1:
@@ -702,25 +861,38 @@ def _alternate_packed(
                 out_patterns[0] = patterns[0]
                 out_sweeps[0] = sweeps
                 types = _packed_types(use4, use_vt, sweep.b01)
+                if totals_offset is not None:
+                    totals = totals + totals_offset[:, None]
                 return out_patterns, types, totals, out_sweeps
 
     active = np.arange(batch)
     done_mask = np.zeros(batch, dtype=bool)
+    # convergence-test scratch (re-sliced on compaction): the loop body
+    # runs thousands of times per protocol pass, so the handful of
+    # small temporaries it would otherwise allocate each iteration are
+    # worth hoisting
+    slack = np.empty_like(totals)
+    slack_ok = np.empty(totals.shape, dtype=bool)
+    conv = np.empty(batch, dtype=bool)
+    newly_mask = np.empty(batch, dtype=bool)
     sweeps = 0
     while True:
         sweeps += 1
         patterns = _packed_patterns_core(sweep, use4, use_vt)
         use4, use_vt, new_totals = _packed_types_core(sweep)
-        converged = np.logical_and.reduce(
-            new_totals >= totals - 1e-12, axis=1
-        )
+        # same op order as the reference driver: (totals - 1e-12) then
+        # the compare, so the f32 tier rounds the slack identically
+        np.subtract(totals, 1e-12, out=slack)
+        np.greater_equal(new_totals, slack, out=slack_ok)
+        converged = np.logical_and.reduce(slack_ok, axis=1, out=conv)
         totals = new_totals
         finished = (
             converged
             if sweeps < max_sweeps
             else np.ones(active.size, dtype=bool)
         )
-        newly = np.flatnonzero(finished & ~done_mask)
+        # boolean ``finished & ~done_mask`` without the two temporaries
+        newly = np.flatnonzero(np.greater(finished, done_mask, out=newly_mask))
         if newly.size:
             sel = active[newly]
             out_patterns[sel] = patterns[newly]
@@ -732,13 +904,17 @@ def _alternate_packed(
             done_mask[newly] = True
             remaining = active.size - int(np.count_nonzero(done_mask))
             if remaining == 0:
+                if totals_offset is not None:
+                    out_totals += totals_offset[:, None]
                 return out_patterns, out_types, out_totals, out_sweeps
             # finished items keep riding the batch (their outputs are
             # frozen above, and every item's trajectory is independent
-            # of its batchmates) until at least half the slots are
-            # dead — compacting on every event costs more in slicing
-            # than the dead flops do
-            if remaining * 2 <= active.size:
+            # of its batchmates) until a quarter of the slots are dead
+            # — at that point the dead matmul flops outweigh the
+            # slicing the compaction costs (measured: eager 1/8
+            # compaction wins for f64 sweeps but loses once the f32
+            # tier halves the flop cost; 1/4 is the robust middle)
+            if remaining * 4 <= active.size * 3:
                 keep = ~done_mask
                 active = active[keep]
                 sweep.compact(keep)
@@ -746,6 +922,11 @@ def _alternate_packed(
                 use_vt = use_vt[keep]
                 totals = totals[keep]
                 done_mask = np.zeros(active.size, dtype=bool)
+                b = active.size
+                slack = slack[:b]
+                slack_ok = slack_ok[:b]
+                conv = conv[:b]
+                newly_mask = newly_mask[:b]
 
 
 def _alternate_batch(
@@ -877,6 +1058,14 @@ def opt_for_part(
     patterns = rng.integers(
         0, 2, size=(n_initial_patterns, partition.n_cols), dtype=np.uint8
     )
+    hub = current_hub()
+    if hub is not None:
+        # a fusion party: ship the drawn problem to the hub (telemetry
+        # is emitted once by the executor's fused dispatch)
+        request = KernelRequest(
+            costs, p, [partition], n_inputs, patterns[None], max_sweeps, memo
+        )
+        return hub.evaluate(request)[0]
     # Hot path: the disabled-telemetry branch avoids even the no-op
     # span allocation — this function dominates both algorithms.
     if not obs.enabled():
@@ -885,9 +1074,11 @@ def opt_for_part(
         "opt.for_part", n_bound=partition.n_bound, n_free=partition.n_free
     ) as span:
         start = time.perf_counter()
+        cpu_start = time.thread_time()
         result, sweeps, hit = _opt_single(
             costs, p, partition, n_inputs, patterns, max_sweeps, memo
         )
+        obs.observe("opt.for_part_cpu_seconds", time.thread_time() - cpu_start)
         obs.observe("opt.for_part_seconds", time.perf_counter() - start)
         span.set(sweeps=sweeps, error=result.error)
         obs.incr("opt.calls")
@@ -950,7 +1141,9 @@ def opt_for_part_many(
     loop of single calls would take, which is what makes a batched
     search bit-identical to the serial one.  Callers that interleave
     other generator use (partition sampling, SA acceptance) pre-draw
-    the patterns themselves and pass them in.
+    the patterns themselves and pass them in — either as a sequence of
+    ``(Z, cols)`` arrays or as one stacked ``(N, Z, cols)`` array (the
+    search loops build the stack directly, skipping a re-stack here).
 
     Results are returned in input order; each is bitwise equal to the
     corresponding single-partition call.
@@ -970,12 +1163,21 @@ def opt_for_part_many(
             raise ValueError("n_initial_patterns must be >= 1")
         if rng is None:
             rng = np.random.default_rng()
-        initial_patterns = [
-            rng.integers(
+        # one preallocated stack, one rng draw per partition *in order*
+        # — the same generator stream as a loop of single calls
+        stacked = np.empty(
+            (len(partitions), n_initial_patterns, shape[1]), dtype=np.uint8
+        )
+        for index, partition in enumerate(partitions):
+            stacked[index] = rng.integers(
                 0, 2, size=(n_initial_patterns, partition.n_cols), dtype=np.uint8
             )
-            for partition in partitions
-        ]
+    elif isinstance(initial_patterns, np.ndarray):
+        if initial_patterns.ndim != 3 or len(initial_patterns) != len(partitions):
+            raise ValueError(
+                "stacked initial patterns must have shape (n_partitions, Z, cols)"
+            )
+        stacked = initial_patterns
     else:
         initial_patterns = list(initial_patterns)
         if len(initial_patterns) != len(partitions):
@@ -983,10 +1185,18 @@ def opt_for_part_many(
         for patterns in initial_patterns:
             if patterns.shape != initial_patterns[0].shape:
                 raise ValueError("initial-pattern arrays must share one shape")
+        stacked = np.stack(initial_patterns)
 
+    hub = current_hub()
+    if hub is not None:
+        # a fusion party: ship the whole batch to the hub (telemetry is
+        # emitted once by the executor's fused dispatch)
+        return hub.evaluate(
+            KernelRequest(costs, p, partitions, n_inputs, stacked, max_sweeps, memo)
+        )
     if not obs.enabled():
         results, _, _ = _opt_many(
-            costs, p, partitions, n_inputs, initial_patterns, max_sweeps, memo
+            costs, p, partitions, n_inputs, stacked, max_sweeps, memo
         )
         return results
     with obs.span(
@@ -996,9 +1206,11 @@ def opt_for_part_many(
         n_free=partitions[0].n_free,
     ) as span:
         start = time.perf_counter()
+        cpu_start = time.thread_time()
         results, total_sweeps, hits = _opt_many(
-            costs, p, partitions, n_inputs, initial_patterns, max_sweeps, memo
+            costs, p, partitions, n_inputs, stacked, max_sweeps, memo
         )
+        obs.observe("opt.for_part_cpu_seconds", time.thread_time() - cpu_start)
         obs.observe("opt.for_part_seconds", time.perf_counter() - start)
         span.set(sweeps=total_sweeps, memo_hits=hits)
         obs.incr("opt.calls", len(partitions))
@@ -1007,107 +1219,304 @@ def opt_for_part_many(
         return results
 
 
+class KernelRequest:
+    """One caller's ``opt_for_part_many`` batch, ready for fused dispatch.
+
+    Bundles everything :func:`_opt_many` consumes — the cost context,
+    the partitions, the pre-drawn ``(N, Z, cols)`` pattern stack, and
+    the optional memo handle — so requests from *different* search or
+    serve contexts can ride one :func:`opt_for_part_grouped` pass.
+    The pattern stack is captured by reference; callers must not
+    mutate it until the request resolves.
+    """
+
+    __slots__ = (
+        "costs", "p", "partitions", "n_inputs", "stacked", "max_sweeps", "memo",
+    )
+
+    def __init__(
+        self,
+        costs: BitCosts,
+        p: np.ndarray,
+        partitions: Sequence[Partition],
+        n_inputs: int,
+        stacked: np.ndarray,
+        max_sweeps: int = _DEFAULT_MAX_SWEEPS,
+        memo: Optional[OptMemo] = None,
+    ) -> None:
+        self.costs = costs
+        self.p = p
+        self.partitions = list(partitions)
+        self.n_inputs = n_inputs
+        self.stacked = stacked
+        self.max_sweeps = max_sweeps
+        self.memo = memo
+
+
+def opt_for_part_grouped(
+    requests: Sequence[KernelRequest],
+) -> List[List[OptForPartResult]]:
+    """Fused evaluation of many callers' batches in one kernel pass.
+
+    Items from all requests are grouped by table shape, candidate
+    count, sweep cap, and packed eligibility, deduplicated by memo
+    digest across requests, and executed in stacked chunks up to
+    ``_BATCH_LIMIT`` wide — each item bitwise equal to its standalone
+    :func:`opt_for_part_many` call (and the memo keeps cross-request
+    duplicates byte-identical to what a serial replay would fetch).
+    Returns one result list per request, in request order.  Telemetry:
+    a single ``opt.for_part_fused`` span covering the pass, the usual
+    ``opt.calls`` / ``opt.sweeps`` / ``opt.lut_entries`` counters, plus
+    ``opt.fused_calls`` / ``opt.fused_items`` and an
+    ``opt.fused_width`` observation per executed chunk.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    total = sum(len(request.partitions) for request in requests)
+    if not obs.enabled():
+        return [results for results, _, _ in _grouped_eval(requests, False)]
+    with obs.span(
+        "opt.for_part_fused", requests=len(requests), items=total
+    ) as span:
+        start = time.perf_counter()
+        # thread CPU time alongside wall time: a fused pass timeshares
+        # the interpreter with the party threads it serves, so its wall
+        # duration double-counts their non-kernel work — the executor's
+        # CPU seconds are the honest cost of the kernel phase
+        cpu_start = time.thread_time()
+        evaluated = _grouped_eval(requests, True)
+        obs.observe("opt.for_part_cpu_seconds", time.thread_time() - cpu_start)
+        obs.observe("opt.for_part_seconds", time.perf_counter() - start)
+        total_sweeps = sum(sweeps for _, sweeps, _ in evaluated)
+        hits = sum(h for _, _, h in evaluated)
+        span.set(sweeps=total_sweeps, memo_hits=hits)
+        obs.incr("opt.calls", total)
+        obs.incr("opt.sweeps", total_sweeps)
+        for request in requests:
+            obs.incr(
+                "opt.lut_entries",
+                len(request.partitions) * (2 << (request.n_inputs - 1)),
+            )
+        obs.incr("opt.fused_calls")
+        obs.incr("opt.fused_items", total)
+        return [results for results, _, _ in evaluated]
+
+
 def _opt_many(
     costs: BitCosts,
     p: np.ndarray,
     partitions: List[Partition],
     n_inputs: int,
-    initial_patterns: Sequence[np.ndarray],
+    stacked: np.ndarray,
     max_sweeps: int,
     memo: Optional[OptMemo],
 ) -> Tuple[List[OptForPartResult], int, int]:
     """Memo-aware batched evaluation; returns (results, sweeps, hits)."""
-    count = len(partitions)
-    use_memo = memo is not None and caching.fast_paths_enabled()
-    results: List[Optional[OptForPartResult]] = [None] * count
-    keys: List[Optional[Tuple]] = [None] * count
-    misses: List[int] = []
-    total_sweeps = 0
-    hits = 0
-    # one stack + one pack_bits call for the whole batch: chunk slices
-    # reuse the stack, and the memo digests sha1 the packed rows
-    stacked = np.stack(initial_patterns)
-    if use_memo:
-        packed_stack = pack_bits(stacked)
-        shape = stacked.shape[1:]
-    for index, partition in enumerate(partitions):
-        if use_memo:
-            key = memo.normal_key_packed(
-                partition, packed_stack[index], shape, max_sweeps
-            )
-            cached = _RESULT_MEMO.get(key)
-            if cached is not None:
-                results[index] = cached[0]
-                hits += 1
-                continue
-            keys[index] = key
-        misses.append(index)
+    request = KernelRequest(
+        costs, p, partitions, n_inputs, stacked, max_sweeps, memo
+    )
+    return _grouped_eval([request], False)[0]
 
-    if misses:
-        w0, w1 = costs.weighted(p)
-        rows, cols = partitions[misses[0]].n_rows, partitions[misses[0]].n_cols
-        packed = _packed_engaged(costs, p, memo)
-        if packed:
-            # the packed sweep only consumes diff = d1 - d0 and the
-            # per-row sums, so gather the pre-differenced weight vector
-            # (half the gather work) and scatter-add the row sums by
-            # cached row index — exact under the gate, so bit-equal to
-            # building the matrices and reducing them.  Both run once
-            # per *chunk*: a single flat take over the stacked gather
-            # indices, and a single offset bincount whose bins see each
-            # item's weights in exactly the per-item accumulation order
-            wdiff = w1 - w0
-            entries = w0.shape[0]
-            max_b = min(_BATCH_LIMIT, len(misses))
-            w0_tiled = np.tile(w0, max_b)
-        for start in range(0, len(misses), _BATCH_LIMIT):
-            chunk = misses[start : start + _BATCH_LIMIT]
-            patterns = stacked[chunk] if len(chunk) < count else stacked
+
+def _grouped_eval(
+    requests: List[KernelRequest], observe_fusion: bool
+) -> List[Tuple[List[OptForPartResult], int, int]]:
+    """Shared engine behind :func:`_opt_many` / :func:`opt_for_part_grouped`.
+
+    Returns ``(results, total_sweeps, memo_hits)`` per request.  With a
+    single request this runs the exact memo-probe / chunk / scatter
+    sequence the pre-fusion ``_opt_many`` ran, so the serial entry
+    points keep their bits and counters; with many requests the chunks
+    simply interleave items, which the batched sweeps are already
+    proven to keep independent.
+    """
+    results: List[List[Optional[OptForPartResult]]] = []
+    keys: List[List[Optional[Tuple]]] = []
+    item_sweeps: List[List[int]] = []
+    hits: List[int] = [0] * len(requests)
+    # (rows, cols, Z, max_sweeps, packed?) → [(request idx, item idx)]
+    groups: dict = {}
+    # memo key → (request idx, item idx) of the first occurrence; later
+    # occurrences across requests alias it (a serial replay would hit
+    # the memo entry the first occurrence just wrote)
+    first_seen: dict = {}
+    aliases: List[Tuple[int, int, Tuple]] = []
+    fresh: dict = {}
+    # per-request packed tier: None (reference) / "f64" / "f32"
+    packed_flags: List[Optional[str]] = [None] * len(requests)
+    for ri, request in enumerate(requests):
+        count = len(request.partitions)
+        use_memo = request.memo is not None and caching.fast_paths_enabled()
+        results.append([None] * count)
+        keys.append([None] * count)
+        item_sweeps.append([0] * count)
+        misses: List[Tuple[int, int]] = []
+        if use_memo:
+            # one pack_bits call per request stack: the memo digests
+            # sha1 the packed rows
+            packed_stack = pack_bits(request.stacked)
+            shape = request.stacked.shape[1:]
+        for ii, partition in enumerate(request.partitions):
+            if use_memo:
+                key = request.memo.normal_key_packed(
+                    partition, packed_stack[ii], shape, request.max_sweeps
+                )
+                cached = _RESULT_MEMO.get(key)
+                if cached is not None:
+                    results[ri][ii] = cached[0]
+                    hits[ri] += 1
+                    continue
+                owner = first_seen.get(key)
+                if owner is not None:
+                    aliases.append((ri, ii, key))
+                    hits[ri] += 1
+                    continue
+                first_seen[key] = (ri, ii)
+                keys[ri][ii] = key
+            misses.append((ri, ii))
+        if misses:
+            packed_flags[ri] = _packed_mode_engaged(
+                request.costs, request.p, request.memo
+            )
+            gkey = (
+                request.partitions[0].n_rows,
+                request.partitions[0].n_cols,
+                request.stacked.shape[1],
+                request.max_sweeps,
+                packed_flags[ri],
+            )
+            groups.setdefault(gkey, []).extend(misses)
+
+    # per-request weight vectors / grids, built lazily once per request
+    weight_cache: dict = {}
+
+    def _weights(ri: int):
+        cached = weight_cache.get(ri)
+        if cached is None:
+            request = requests[ri]
+            w0, w1 = request.costs.weighted(request.p)
+            if packed_flags[ri]:
+                # the packed sweep runs in relative mode: it consumes
+                # only diff = d1 - d0 (pre-differenced once, half the
+                # gather work) plus the item's *total* zero cost — a
+                # single scalar, since the per-row zero costs cancel
+                # out of every comparison and re-enter the totals as
+                # one exact offset.  ``w0.sum()`` is exact under the
+                # gate (an integer multiple of the common dyadic unit,
+                # below the overflow bound), so the re-based totals
+                # are bit-equal to building the matrices and reducing
+                # them.  In the f32 tier the grid is pre-cast once —
+                # exact (the gate bounds every value below 2**24 in
+                # units) and the per-item gathers move half the bytes.
+                wdiff = w1 - w0
+                if packed_flags[ri] == "f32":
+                    wdiff = wdiff.astype(np.float32)
+                grid = (2,) * request.n_inputs
+                cached = (wdiff.reshape(grid), float(w0.sum()))
+            else:
+                cached = (w0, w1)
+            weight_cache[ri] = cached
+        return cached
+
+    for gkey, members in groups.items():
+        rows, cols, z, group_sweeps, packed = gkey
+        for start in range(0, len(members), _BATCH_LIMIT):
+            chunk = members[start : start + _BATCH_LIMIT]
+            b = len(chunk)
+            ri0, ii0 = chunk[0]
+            if chunk[-1] == (ri0, ii0 + b - 1) and all(
+                item == (ri0, ii0 + k) for k, item in enumerate(chunk)
+            ):
+                # one request, consecutive items (the common serial
+                # case): the caller's stack IS the chunk stack — the
+                # sweeps only read it, so skip the per-item copies
+                patterns = requests[ri0].stacked[ii0 : ii0 + b]
+            else:
+                patterns = np.empty(
+                    (b, z, cols), dtype=requests[ri0].stacked.dtype
+                )
+                for j, (ri, ii) in enumerate(chunk):
+                    patterns[j] = requests[ri].stacked[ii]
             if packed:
-                b = len(chunk)
-                gidx = np.empty((b, entries), dtype=np.intp)
-                ridx = np.empty((b, entries), dtype=np.intp)
-                for j, i in enumerate(chunk):
-                    gather, row_index = _packed_index(partitions[i], n_inputs)
-                    gidx[j] = gather
-                    ridx[j] = row_index
-                diff = np.empty((b, rows, cols))
-                wdiff.take(gidx.reshape(-1), None, diff.reshape(-1), "clip")
-                ridx += (np.arange(b) * rows)[:, None]
-                zero_cost = np.bincount(
-                    ridx.reshape(-1),
-                    weights=w0_tiled[: b * entries],
-                    minlength=b * rows,
-                ).reshape(b, rows)
-                # the one-cost row sums fall out of the gathered diff:
-                # oc = zc + sum_cols(d1 - d0), exact under the gate
-                one_cost = zero_cost + diff.sum(axis=2)
+                dtype = np.float32 if packed == "f32" else np.float64
+                diff = np.empty((b, rows, cols), dtype=dtype)
+                offsets = np.empty(b)
+                for j, (ri, ii) in enumerate(chunk):
+                    request = requests[ri]
+                    wdiff_grid, zc_total = _weights(ri)
+                    axes = _partition_axes(
+                        request.partitions[ii], request.n_inputs
+                    )
+                    np.copyto(
+                        diff[j].reshape(wdiff_grid.shape),
+                        wdiff_grid.transpose(axes),
+                    )
+                    offsets[j] = zc_total
+                # relative mode: the diff row sums are the only per-row
+                # state the packed sweep needs (exact integer-scaled
+                # sums under the gate, so any association order gives
+                # the same bits); each item's total zero cost re-bases
+                # its final totals
                 fin_patterns, fin_types, fin_totals, fin_sweeps = (
                     _alternate_packed(
-                        diff, zero_cost, one_cost, patterns, max_sweeps
+                        diff, None, diff.sum(axis=2), patterns,
+                        group_sweeps, totals_offset=offsets,
                     )
                 )
             else:
                 # gather each item's table straight into its batch slot
                 # — one pass instead of to_matrix allocations + np.stack
-                d0 = np.empty((len(chunk), rows, cols))
+                d0 = np.empty((b, rows, cols))
                 d1 = np.empty_like(d0)
-                for j, i in enumerate(chunk):
-                    idx = gather_index(partitions[i], n_inputs)
+                for j, (ri, ii) in enumerate(chunk):
+                    request = requests[ri]
+                    w0, w1 = _weights(ri)
+                    idx = gather_index(request.partitions[ii], request.n_inputs)
                     np.take(w0, idx, out=d0[j].reshape(-1))
                     np.take(w1, idx, out=d1[j].reshape(-1))
                 fin_patterns, fin_types, fin_totals, fin_sweeps = (
-                    _alternate_batch(d0, d1, patterns, max_sweeps)
+                    _alternate_batch(d0, d1, patterns, group_sweeps)
                 )
-            for j, index in enumerate(chunk):
-                result = _best_of(
-                    partitions[index], fin_patterns[j], fin_types[j], fin_totals[j]
+            if observe_fusion:
+                obs.observe("opt.fused_width", b)
+            # one argmin pass for the whole chunk; ties break exactly
+            # like the per-item _best_of (first index wins)
+            winners = fin_totals.argmin(axis=1)
+            # gather every winner in one fancy-index pass — the result
+            # owns its data, so the per-item rows below are views into
+            # it rather than 2B separate slice+copy numpy calls
+            arange_b = np.arange(b)
+            best_patterns = fin_patterns[arange_b, winners]
+            best_types = fin_types[arange_b, winners]
+            best_totals = fin_totals[arange_b, winners].tolist()
+            sweeps_list = fin_sweeps.tolist()
+            stores: List[Tuple] = []
+            for j, (ri, ii) in enumerate(chunk):
+                decomposition = DisjointDecomposition._trusted(
+                    requests[ri].partitions[ii],
+                    best_patterns[j],
+                    best_types[j],
                 )
-                results[index] = result
-                total_sweeps += int(fin_sweeps[j])
-                if keys[index] is not None:
-                    _RESULT_MEMO.put(keys[index], (result, int(fin_sweeps[j])))
-    return results, total_sweeps, hits  # type: ignore[return-value]
+                result = OptForPartResult(best_totals[j], decomposition)
+                results[ri][ii] = result
+                item_sweeps[ri][ii] = sweeps_list[j]
+                key = keys[ri][ii]
+                if key is not None:
+                    entry = (result, sweeps_list[j])
+                    stores.append((key, entry))
+                    fresh[key] = entry
+            if stores:
+                # one lock hold per chunk instead of one per item
+                _RESULT_MEMO.put_many(stores)
+
+    for ri, ii, key in aliases:
+        results[ri][ii] = fresh[key][0]
+
+    return [
+        (results[ri], sum(item_sweeps[ri]), hits[ri])  # type: ignore[misc]
+        for ri in range(len(requests))
+    ]
 
 
 def opt_for_part_bto(
@@ -1134,13 +1543,15 @@ def opt_for_part_bto(
             return cached
     if _packed_engaged(costs, p, memo):
         # packed tier: only the per-column sums are needed, so skip the
-        # (rows x cols) matrix builds and scatter-add the weighted cost
-        # vectors by cached column index — exact under the eligibility
-        # gate, hence bit-equal to the matrix route
+        # (rows x cols) matrix builds and sum the transposed weight
+        # grids down the row axis — exact under the eligibility gate,
+        # hence bit-equal to the matrix route
         w0, w1 = costs.weighted(p)
-        columns = row_col_indices(partition, n_inputs)[1]
-        cost_zero = np.bincount(columns, weights=w0, minlength=partition.n_cols)
-        cost_one = np.bincount(columns, weights=w1, minlength=partition.n_cols)
+        grid = (2,) * n_inputs
+        axes = _partition_axes(partition, n_inputs)
+        table = (partition.n_rows, partition.n_cols)
+        cost_zero = w0.reshape(grid).transpose(axes).reshape(table).sum(axis=0)
+        cost_one = w1.reshape(grid).transpose(axes).reshape(table).sum(axis=0)
     else:
         d0, d1 = _cost_matrices(costs, p, partition, n_inputs)
         cost_zero = d0.sum(axis=0)

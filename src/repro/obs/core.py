@@ -24,6 +24,7 @@ Records are plain dicts with a ``type`` discriminator:
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Any, Dict, List, Optional, Union
 
@@ -241,7 +242,15 @@ class Span:
 
 
 class Telemetry:
-    """A telemetry session: a span stack, counters, and output sinks."""
+    """A telemetry session: a span stack, counters, and output sinks.
+
+    The session is process-global, and kernel-fusion party threads
+    (``repro.core.fusion``) mutate it concurrently — a re-entrant lock
+    guards every mutation (span bookkeeping, counters, histograms,
+    sink emission) so increments are never lost and sink lines never
+    interleave.  The uncontended acquire is ~0.1µs, far inside the
+    documented overhead budget.
+    """
 
     def __init__(self, sinks=()) -> None:
         self.sinks = list(sinks)
@@ -250,58 +259,65 @@ class Telemetry:
         self.histograms: Dict[str, Histogram] = {}
         self._stack: List[Span] = []
         self._next_id = 1
+        self._lock = threading.RLock()
 
     # -- spans ---------------------------------------------------------
     def span(self, name: str, **attributes) -> Span:
         return Span(self, name, attributes)
 
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        span.parent_id = self._stack[-1].span_id if self._stack else None
-        span.depth = len(self._stack)
-        self._stack.append(span)
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            span.parent_id = self._stack[-1].span_id if self._stack else None
+            span.depth = len(self._stack)
+            self._stack.append(span)
 
     def _close(self, span: Span, error: bool = False) -> None:
-        # Tolerate mispaired exits instead of corrupting the stack.
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:
-            while self._stack and self._stack.pop() is not span:
-                pass
-        record = {
-            "type": "span",
-            "name": span.name,
-            "id": span.span_id,
-            "parent": span.parent_id,
-            "depth": span.depth,
-            "ts": span.ts,
-            "dur": span.duration,
-        }
-        if span.attributes:
-            record["attrs"] = span.attributes
-        if error:
-            record["error"] = True
-        self.emit(record)
+        with self._lock:
+            # Tolerate mispaired exits instead of corrupting the stack.
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+            elif span in self._stack:
+                while self._stack and self._stack.pop() is not span:
+                    pass
+            record = {
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "depth": span.depth,
+                "ts": span.ts,
+                "dur": span.duration,
+            }
+            if span.attributes:
+                record["attrs"] = span.attributes
+            if error:
+                record["error"] = True
+            self.emit(record)
 
     # -- counters / gauges --------------------------------------------
     def incr(self, name: str, value: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the named histogram."""
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def merge_counters(self, counters: Dict[str, float]) -> None:
         """Fold counters from another session (e.g. a worker process)."""
-        for name, value in counters.items():
-            self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
 
     def merge_gauges(
         self, gauges: Dict[str, float], worker: Optional[Any] = None
@@ -314,20 +330,22 @@ class Telemetry:
         never clobber each other's readings.  Exposition parses the
         suffix back into a Prometheus label.
         """
-        for name, value in gauges.items():
-            if worker is None or "#" in name:  # already labelled upstream
-                key = name
-            else:
-                key = f"{name}#worker={worker}"
-            self.gauges[key] = value
+        with self._lock:
+            for name, value in gauges.items():
+                if worker is None or "#" in name:  # already labelled upstream
+                    key = name
+                else:
+                    key = f"{name}#worker={worker}"
+                self.gauges[key] = value
 
     def merge_histograms(self, histograms: Dict[str, Any]) -> None:
         """Fold histogram payloads (``Histogram`` or dict) from elsewhere."""
-        for name, payload in histograms.items():
-            hist = self.histograms.get(name)
-            if hist is None:
-                hist = self.histograms[name] = Histogram()
-            hist.merge(payload)
+        with self._lock:
+            for name, payload in histograms.items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram()
+                hist.merge(payload)
 
     # -- events / records ---------------------------------------------
     def event(self, name: str, **attributes) -> None:
@@ -337,8 +355,9 @@ class Telemetry:
         self.emit(record)
 
     def emit(self, record: Dict[str, Any]) -> None:
-        for sink in self.sinks:
-            sink.record(record)
+        with self._lock:
+            for sink in self.sinks:
+                sink.record(record)
 
     def absorb(self, records, **extra_attrs) -> None:
         """Replay records captured in another process into this session.
@@ -367,14 +386,17 @@ class Telemetry:
 
     # -- lifecycle -----------------------------------------------------
     def counters_record(self) -> Dict[str, Any]:
-        record: Dict[str, Any] = {"type": "counters", "values": dict(self.counters)}
-        if self.gauges:
-            record["gauges"] = dict(self.gauges)
-        if self.histograms:
-            record["histograms"] = {
-                name: hist.to_dict() for name, hist in self.histograms.items()
+        with self._lock:
+            record: Dict[str, Any] = {
+                "type": "counters", "values": dict(self.counters)
             }
-        return record
+            if self.gauges:
+                record["gauges"] = dict(self.gauges)
+            if self.histograms:
+                record["histograms"] = {
+                    name: hist.to_dict() for name, hist in self.histograms.items()
+                }
+            return record
 
     def flush(self) -> None:
         """Emit the counter snapshot and flush every sink."""
